@@ -1,0 +1,88 @@
+// Command encag-bench regenerates the tables and figures of "Efficient
+// Algorithms for Encrypted All-gather Operation" (IPDPS 2021) from the
+// calibrated cluster model.
+//
+// Usage:
+//
+//	encag-bench                  # run every experiment
+//	encag-bench -exp table3      # one experiment (fig1, table1..6, fig5..8, ablation)
+//	encag-bench -exp fig7 -csv   # emit CSV instead of aligned text
+//	encag-bench -quick           # trimmed sizes for a fast smoke run
+//	encag-bench -list            # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"encag/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment ID to run (default: all)")
+	asCSV := flag.Bool("csv", false, "emit CSV instead of text tables")
+	asPlot := flag.Bool("plot", false, "also render latency-vs-size tables as ASCII charts")
+	quick := flag.Bool("quick", false, "trim large sizes for a fast run")
+	outDir := flag.String("out", "", "also write each table as CSV into this directory")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	experiments := bench.All()
+	if *exp != "" {
+		e, err := bench.Get(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		experiments = []bench.Experiment{e}
+	}
+
+	opts := bench.Options{Quick: *quick}
+	for _, e := range experiments {
+		start := time.Now()
+		tables, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *outDir != "" {
+			if err := bench.WriteCSVDir(tables, *outDir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		for _, t := range tables {
+			if *asCSV {
+				if err := t.CSV(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			} else {
+				if err := t.Render(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if *asPlot && bench.Plottable(t) {
+					chart, err := bench.PlotTable(t)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					fmt.Println(chart)
+				}
+			}
+		}
+		if !*asCSV {
+			fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command encag-explore answers "which encrypted all-gather should my
+// cluster use?": it simulates every algorithm for a given cluster shape,
+// mapping, machine profile and message size, prints the ranking with the
+// six cost metrics, and shows how far the winner sits from the paper's
+// lower bounds.
+//
+// Example:
+//
+//	encag-explore -p 256 -nodes 16 -size 64KB -profile noleland -mapping cyclic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"encag"
+	"encag/internal/bench"
+)
+
+func main() {
+	p := flag.Int("p", 128, "number of processes")
+	nodes := flag.Int("nodes", 8, "number of nodes")
+	mapping := flag.String("mapping", "block", "process mapping: block or cyclic")
+	sizeStr := flag.String("size", "16KB", "message size per rank (e.g. 64, 4KB, 2MB)")
+	profName := flag.String("profile", "noleland", "machine profile: noleland or bridges2")
+	flag.Parse()
+
+	size, err := bench.ParseSize(*sizeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prof, err := encag.ProfileByName(*profName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	spec := encag.Spec{Procs: *p, Nodes: *nodes, Mapping: *mapping}
+
+	type row struct {
+		name string
+		res  encag.SimResult
+	}
+	var rows []row
+	for _, alg := range append([]string{"mpi"}, encag.PaperAlgorithms()...) {
+		res, err := encag.Simulate(spec, prof, alg, size)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", alg, err)
+			os.Exit(1)
+		}
+		rows = append(rows, row{alg, res})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].res.Latency < rows[j].res.Latency })
+
+	fmt.Printf("Cluster: p=%d nodes=%d l=%d mapping=%s profile=%s msg=%s\n\n",
+		*p, *nodes, *p / *nodes, *mapping, prof.Name, bench.SizeName(size))
+	fmt.Printf("%-8s %12s %6s %6s %12s %6s %12s\n", "scheme", "latency", "rc", "re", "se", "rd", "sd")
+	for _, r := range rows {
+		fmt.Printf("%-8s %12s %6d %6d %12d %6d %12d\n",
+			r.name, r.res.Latency.Round(10*time.Nanosecond),
+			r.res.Metrics.Rc, r.res.Metrics.Re, r.res.Metrics.Se,
+			r.res.Metrics.Rd, r.res.Metrics.Sd)
+	}
+
+	lb := encag.LowerBounds(*p, *nodes, size)
+	fmt.Printf("\nLower bounds (Table I): rc>=%d sc>=%d re>=%d se>=%d rd>=%d sd>=%d\n",
+		lb.Rc, lb.Sc, lb.Re, lb.Se, lb.Rd, lb.Sd)
+
+	best := rows[0]
+	if best.name == "mpi" && len(rows) > 1 {
+		enc := rows[1]
+		fmt.Printf("\nRecommendation: %s — fastest encrypted scheme, %.1f%% over unencrypted MPI\n",
+			enc.name, 100*(enc.res.Latency.Seconds()-best.res.Latency.Seconds())/best.res.Latency.Seconds())
+	} else {
+		fmt.Printf("\nRecommendation: %s — beats unencrypted MPI here\n", best.name)
+	}
+}

@@ -1,0 +1,127 @@
+// Command encag-osu is the in-memory analogue of the OSU_Allgather
+// micro-benchmark the paper measures with: it runs the real execution
+// engine (goroutines, channel transport, real AES-GCM) repeatedly for a
+// range of message sizes and reports average / min / max wall-clock
+// latency per all-gather, plus the six cost metrics.
+//
+// Wall times here measure this host's goroutine scheduler and AES-NI
+// throughput, not an InfiniBand fabric — use encag-bench for the
+// calibrated cluster model. The value of this tool is comparing the
+// *relative* cryptographic cost of the algorithms on real silicon.
+//
+// Example:
+//
+//	encag-osu -p 32 -nodes 4 -algs naive,hs2 -sizes 1KB,64KB -iters 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"encag"
+	"encag/internal/bench"
+)
+
+// stddev returns the sample standard deviation in the samples' unit.
+func stddev(samples []float64) float64 {
+	if len(samples) < 2 {
+		return 0
+	}
+	var mean float64
+	for _, v := range samples {
+		mean += v
+	}
+	mean /= float64(len(samples))
+	var ss float64
+	for _, v := range samples {
+		ss += (v - mean) * (v - mean)
+	}
+	return math.Sqrt(ss / float64(len(samples)-1))
+}
+
+func main() {
+	p := flag.Int("p", 32, "number of processes")
+	nodes := flag.Int("nodes", 4, "number of nodes")
+	mapping := flag.String("mapping", "block", "block or cyclic")
+	algsStr := flag.String("algs", "naive,o-rd,c-ring,hs1,hs2", "comma-separated algorithms")
+	sizesStr := flag.String("sizes", "1KB,16KB,256KB", "comma-separated sizes")
+	iters := flag.Int("iters", 10, "iterations per configuration")
+	warmup := flag.Int("warmup", 2, "warm-up iterations (not timed)")
+	asCSV := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	spec := encag.Spec{Procs: *p, Nodes: *nodes, Mapping: *mapping}
+	var sizes []int64
+	for _, s := range strings.Split(*sizesStr, ",") {
+		v, err := bench.ParseSize(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sizes = append(sizes, v)
+	}
+	algs := strings.Split(*algsStr, ",")
+
+	if *asCSV {
+		fmt.Println("alg,size,avg_us,min_us,max_us,stddev_us,rd,sd")
+	} else {
+		fmt.Printf("# encag-osu  p=%d nodes=%d mapping=%s iters=%d (wall clock, real AES-GCM)\n",
+			*p, *nodes, *mapping, *iters)
+		fmt.Printf("%-8s %-8s %12s %12s %12s %12s %8s %12s\n",
+			"alg", "size", "avg", "min", "max", "stddev", "rd", "sd")
+	}
+	for _, alg := range algs {
+		alg = strings.TrimSpace(alg)
+		for _, m := range sizes {
+			var total, minD, maxD time.Duration
+			var samples []float64
+			var metrics encag.Metrics
+			ok := true
+			for i := 0; i < *warmup+*iters; i++ {
+				res, err := encag.Run(spec, alg, m)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s @%s: %v\n", alg, bench.SizeName(m), err)
+					ok = false
+					break
+				}
+				if !res.SecurityOK {
+					fmt.Fprintf(os.Stderr, "%s @%s: security violation\n", alg, bench.SizeName(m))
+					ok = false
+					break
+				}
+				if i < *warmup {
+					continue
+				}
+				d := res.Elapsed
+				total += d
+				samples = append(samples, d.Seconds()*1e6)
+				if minD == 0 || d < minD {
+					minD = d
+				}
+				if d > maxD {
+					maxD = d
+				}
+				metrics = res.Metrics
+			}
+			if !ok {
+				continue
+			}
+			avg := total / time.Duration(*iters)
+			sd := stddev(samples)
+			if *asCSV {
+				fmt.Printf("%s,%s,%.1f,%.1f,%.1f,%.1f,%d,%d\n",
+					alg, bench.SizeName(m), avg.Seconds()*1e6, minD.Seconds()*1e6,
+					maxD.Seconds()*1e6, sd, metrics.Rd, metrics.Sd)
+			} else {
+				fmt.Printf("%-8s %-8s %12v %12v %12v %11.1fu %8d %12d\n",
+					alg, bench.SizeName(m),
+					avg.Round(time.Microsecond), minD.Round(time.Microsecond), maxD.Round(time.Microsecond),
+					sd, metrics.Rd, metrics.Sd)
+			}
+		}
+	}
+}

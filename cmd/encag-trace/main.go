@@ -1,0 +1,74 @@
+// Command encag-trace renders an activity timeline of one simulated
+// encrypted all-gather: an ASCII Gantt chart (one row per rank) plus the
+// time breakdown of the critical rank. It makes visible *why* an
+// algorithm wins — e.g. Naive's serial decryption tail versus HS2's
+// parallel joint decryption.
+//
+// Example:
+//
+//	encag-trace -alg naive -p 16 -nodes 4 -size 64KB
+//	encag-trace -alg hs2   -p 16 -nodes 4 -size 64KB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"encag/internal/bench"
+	"encag/internal/cluster"
+	"encag/internal/cost"
+	"encag/internal/encrypted"
+	"encag/internal/trace"
+)
+
+func main() {
+	algName := flag.String("alg", "hs2", "algorithm name (see encag-explore)")
+	p := flag.Int("p", 16, "number of processes")
+	nodes := flag.Int("nodes", 4, "number of nodes")
+	mapping := flag.String("mapping", "block", "block or cyclic")
+	sizeStr := flag.String("size", "64KB", "message size")
+	profName := flag.String("profile", "noleland", "machine profile")
+	width := flag.Int("width", 100, "gantt width in characters")
+	flag.Parse()
+
+	size, err := bench.ParseSize(*sizeStr)
+	if err != nil {
+		fatal(err)
+	}
+	prof, err := cost.ByName(*profName)
+	if err != nil {
+		fatal(err)
+	}
+	alg, err := encrypted.Get(*algName)
+	if err != nil {
+		fatal(err)
+	}
+	spec := cluster.Spec{P: *p, N: *nodes}
+	if *mapping == "cyclic" {
+		spec.Mapping = cluster.CyclicMapping
+	}
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+
+	col := &trace.Collector{}
+	res, err := cluster.RunSimTraced(spec, prof, size, alg, col)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s on p=%d nodes=%d %s, %s blocks: latency %v\n\n",
+		*algName, *p, *nodes, *mapping, bench.SizeName(size), res.LatencyD)
+	if err := col.Gantt(os.Stdout, spec.P, *width); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if err := col.WriteBreakdown(os.Stdout, spec.P); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,194 @@
+package encag
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickstartPath(t *testing.T) {
+	spec := Spec{Procs: 8, Nodes: 2}
+	res, err := Run(spec, "hs2", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SecurityOK {
+		t.Fatalf("security audit failed: %v", res.Violations)
+	}
+	if len(res.Gathered) != 8 || len(res.Gathered[0]) != 8 {
+		t.Fatal("gathered shape wrong")
+	}
+}
+
+func TestAllgatherUserData(t *testing.T) {
+	spec := Spec{Procs: 4, Nodes: 2, Mapping: "cyclic"}
+	data := [][]byte{
+		[]byte("alpha-secret-000"),
+		[]byte("beta-secret-1111"),
+		[]byte("gamma-secret-22x"),
+		[]byte("delta-secret-333"),
+	}
+	res, err := Allgather(spec, "c-ring", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		for o := 0; o < 4; o++ {
+			if !bytes.Equal(res.Gathered[r][o], data[o]) {
+				t.Fatalf("rank %d origin %d mismatch", r, o)
+			}
+		}
+	}
+	if !res.SecurityOK {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}
+
+func TestSimulatePaperScale(t *testing.T) {
+	spec := Spec{Procs: 128, Nodes: 8}
+	naive, err := Simulate(spec, Noleland(), "naive", 16<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2, err := Simulate(spec, Noleland(), "hs2", 16<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs2.Latency >= naive.Latency {
+		t.Fatalf("hs2 (%v) should beat naive (%v) at 16KB — the paper's headline result", hs2.Latency, naive.Latency)
+	}
+	if hs2.Metrics.Sd >= naive.Metrics.Sd {
+		t.Fatalf("hs2 sd=%d should be far below naive sd=%d", hs2.Metrics.Sd, naive.Metrics.Sd)
+	}
+}
+
+func TestUnknownNames(t *testing.T) {
+	if _, err := Simulate(Spec{Procs: 4, Nodes: 2}, Noleland(), "nope", 64); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := Simulate(Spec{Procs: 4, Nodes: 2, Mapping: "weird"}, Noleland(), "hs1", 64); err == nil {
+		t.Fatal("unknown mapping accepted")
+	}
+	if _, err := Simulate(Spec{Procs: 5, Nodes: 2}, Noleland(), "hs1", 64); err == nil {
+		t.Fatal("unbalanced spec accepted")
+	}
+}
+
+func TestAlgorithmsListComplete(t *testing.T) {
+	names := Algorithms()
+	for _, want := range []string{"naive", "o-ring", "o-rd", "o-rd2", "c-ring", "c-rd", "hs1", "hs2", "mpi", "plain-hs1"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("algorithm %q missing from Algorithms()", want)
+		}
+	}
+	// Every listed algorithm must actually resolve and run.
+	for _, n := range names {
+		if _, err := Simulate(Spec{Procs: 8, Nodes: 2}, Noleland(), n, 64); err != nil {
+			t.Errorf("listed algorithm %s failed: %v", n, err)
+		}
+	}
+}
+
+func TestPlainCounterpartsFree(t *testing.T) {
+	spec := Spec{Procs: 16, Nodes: 4}
+	enc, err := Simulate(spec, Noleland(), "c-ring", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Simulate(spec, Noleland(), "plain-c-ring", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Metrics.Re != 0 || plain.Metrics.Rd != 0 {
+		t.Fatalf("plain counterpart still does crypto: %+v", plain.Metrics)
+	}
+	if plain.Latency >= enc.Latency {
+		t.Fatal("plain counterpart should be at least as fast as the encrypted algorithm")
+	}
+}
+
+func TestPredictAndBoundsExposed(t *testing.T) {
+	lb := LowerBounds(128, 8, 1000)
+	if lb.Sd != 7000 {
+		t.Fatalf("lower bound sd = %d", lb.Sd)
+	}
+	pred, err := Predict("hs2", 128, 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Sd != lb.Sd {
+		t.Fatal("hs2 must meet the sd lower bound")
+	}
+	if _, err := Predict("hs2", 100, 10, 1); err == nil ||
+		!strings.Contains(err.Error(), "power-of-two") {
+		t.Fatalf("expected power-of-two error, got %v", err)
+	}
+}
+
+// Every listed algorithm must also execute correctly on the real engine
+// (the list test above exercises the simulator only).
+func TestAlgorithmsListRealEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	spec := Spec{Procs: 8, Nodes: 2}
+	for _, name := range Algorithms() {
+		res, err := Run(spec, name, 32)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		for r := 0; r < spec.Procs; r++ {
+			if len(res.Gathered[r]) != spec.Procs {
+				t.Errorf("%s: rank %d gathered %d blocks", name, r, len(res.Gathered[r]))
+			}
+		}
+	}
+}
+
+// Simulation results are bit-for-bit deterministic across calls — the
+// property that makes the tables reproducible.
+func TestSimulateDeterministic(t *testing.T) {
+	spec := Spec{Procs: 32, Nodes: 8, Mapping: "cyclic"}
+	a, err := Simulate(spec, Noleland(), "c-ring", 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		b, err := Simulate(spec, Noleland(), "c-ring", 8<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Latency != b.Latency || a.Metrics != b.Metrics {
+			t.Fatalf("run %d differs: %v/%v vs %v/%v", i, a.Latency, a.Metrics, b.Latency, b.Metrics)
+		}
+	}
+}
+
+// The six facade metrics surface the same values the internal engines
+// count; spot-check one closed form through the public API.
+func TestFacadeMetricsMatchPredict(t *testing.T) {
+	spec := Spec{Procs: 64, Nodes: 8}
+	const m = 2048
+	for _, alg := range PaperAlgorithms() {
+		pred, err := Predict(alg, spec.Procs, spec.Nodes, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(spec, Noleland(), alg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Metrics.Re != pred.Re || res.Metrics.Se != pred.Se ||
+			res.Metrics.Rd != pred.Rd || res.Metrics.Sd != pred.Sd {
+			t.Errorf("%s: facade metrics %v != prediction %v", alg, res.Metrics, pred)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Quickstart: run one encrypted all-gather for real.
+//
+// Eight ranks spread over two simulated nodes each contribute a secret;
+// the HS2 algorithm gathers all eight at every rank. Inter-node traffic
+// is AES-GCM sealed, intra-node traffic stays in the clear, and the
+// transport audit proves it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"encag"
+)
+
+func main() {
+	spec := encag.Spec{Procs: 8, Nodes: 2, Mapping: "block"}
+
+	data := make([][]byte, spec.Procs)
+	for r := range data {
+		data[r] = []byte(fmt.Sprintf("secret-of-rank-%d", r))
+	}
+
+	res, err := encag.Allgather(spec, "hs2", data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Every rank now holds every contribution:")
+	for origin, blockData := range res.Gathered[0] {
+		fmt.Printf("  rank %d contributed: %s\n", origin, blockData)
+	}
+	fmt.Printf("\nSecurity audit: clean=%v (%d inter-node msgs all sealed, %d intra-node msgs in the clear)\n",
+		res.SecurityOK, res.InterMessages, res.IntraMessages)
+	fmt.Printf("Cost metrics (critical path): %v\n", res.Metrics)
+
+	// The same call with the naive baseline decrypts l times more data.
+	naive, err := encag.Allgather(spec, "naive", data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDecrypted bytes per rank: hs2=%d vs naive=%d (the paper's key win)\n",
+		res.Metrics.Sd, naive.Metrics.Sd)
+}

@@ -1,0 +1,71 @@
+// Secure aggregation: the encrypted ALL-REDUCE extension.
+//
+// Sixteen parties across four cloud nodes each hold a private count
+// vector (e.g. per-category tallies of confidential records). Everyone
+// needs the element-wise total, but nobody's individual vector may cross
+// a node boundary in the clear. The encrypted all-reduce combines
+// vectors inside nodes via shared memory and seals every inter-node hop,
+// decrypting only O(lg N) ciphertexts per rank.
+//
+//	go run ./examples/secureagg
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"encag"
+)
+
+const (
+	parties    = 16
+	nodes      = 4
+	categories = 8
+)
+
+// addU32 is the CombineFunc: element-wise uint32 addition.
+func addU32(dst, src []byte) {
+	for i := 0; i+4 <= len(dst); i += 4 {
+		binary.LittleEndian.PutUint32(dst[i:],
+			binary.LittleEndian.Uint32(dst[i:])+binary.LittleEndian.Uint32(src[i:]))
+	}
+}
+
+func main() {
+	spec := encag.Spec{Procs: parties, Nodes: nodes}
+
+	// Each party's private tallies.
+	data := make([][]byte, parties)
+	want := make([]uint32, categories)
+	for r := range data {
+		buf := make([]byte, 4*categories)
+		for c := 0; c < categories; c++ {
+			v := uint32((r*7 + c*13) % 50)
+			binary.LittleEndian.PutUint32(buf[4*c:], v)
+			want[c] += v
+		}
+		data[r] = buf
+	}
+
+	res, err := encag.Allreduce(spec, data, addU32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.SecurityOK {
+		log.Fatalf("security violations: %v", res.Violations)
+	}
+
+	fmt.Println("Element-wise totals, agreed by all parties:")
+	for c := 0; c < categories; c++ {
+		got := binary.LittleEndian.Uint32(res.Result[4*c:])
+		marker := "ok"
+		if got != want[c] {
+			marker = "MISMATCH"
+		}
+		fmt.Printf("  category %d: %5d (%s)\n", c, got, marker)
+	}
+	fmt.Printf("\nPer-party GCM work: sealed %d B in %d call(s), opened %d B in %d call(s)\n",
+		res.Metrics.Se, res.Metrics.Re, res.Metrics.Sd, res.Metrics.Rd)
+	fmt.Println("(naive secure aggregation would open (p-1)*m bytes per party)")
+}

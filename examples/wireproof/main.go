@@ -1,0 +1,42 @@
+// Wireproof: watch the security property on real sockets.
+//
+// Runs the same all-gather twice over loopback TCP — once encrypted
+// (HS2), once with cryptography disabled — while a sniffer captures
+// every byte that crosses a node boundary, exactly what a network
+// eavesdropper between the nodes would record. The plaintext run leaks
+// every block to the wire; the encrypted run leaks nothing.
+//
+//	go run ./examples/wireproof
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"encag"
+)
+
+func main() {
+	spec := encag.Spec{Procs: 8, Nodes: 4}
+	const m = 256
+
+	for _, alg := range []string{"plain-hs2", "hs2"} {
+		res, err := encag.RunOverTCP(spec, alg, m)
+		if err != nil {
+			log.Fatalf("%s: %v", alg, err)
+		}
+		verdict := "EXPOSED to the eavesdropper"
+		if res.WireClean {
+			verdict = "invisible to the eavesdropper"
+		}
+		fmt.Printf("%-10s %7d bytes crossed node boundaries; plaintext blocks %s\n",
+			alg, res.WireBytes, verdict)
+		if alg == "hs2" && !res.SecurityOK {
+			log.Fatalf("audit violations: %v", res.Violations)
+		}
+	}
+
+	fmt.Println("\nBoth runs gathered identical data at every rank; only the")
+	fmt.Println("encrypted one is safe on an untrusted cloud network (and it")
+	fmt.Println("costs just (N-1)*m decrypted bytes per rank — the paper's bound).")
+}

@@ -1,0 +1,3 @@
+module encag
+
+go 1.22

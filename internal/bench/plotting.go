@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"encag/internal/plot"
+)
+
+// PlotTable renders a latency-vs-size table (first column: sizes like
+// "4KB"; remaining columns: latencies in microseconds) as a log-log
+// ASCII chart — the figure form of the figure experiments.
+func PlotTable(t Table) (string, error) {
+	if len(t.Headers) < 2 || len(t.Rows) == 0 {
+		return "", fmt.Errorf("bench: table %s is not plottable", t.ID)
+	}
+	series := make([]plot.Series, len(t.Headers)-1)
+	for i := range series {
+		series[i].Name = t.Headers[i+1]
+	}
+	for _, row := range t.Rows {
+		x, err := ParseSize(row[0])
+		if err != nil {
+			return "", fmt.Errorf("bench: row key %q is not a size: %w", row[0], err)
+		}
+		for i := 1; i < len(row); i++ {
+			y, err := strconv.ParseFloat(row[i], 64)
+			if err != nil {
+				return "", fmt.Errorf("bench: cell %q is not numeric: %w", row[i], err)
+			}
+			series[i-1].X = append(series[i-1].X, float64(x))
+			series[i-1].Y = append(series[i-1].Y, y)
+		}
+	}
+	unit := t.YUnit
+	if unit == "" {
+		unit = "latency (us)"
+	}
+	var sb strings.Builder
+	err := plot.Render(&sb, fmt.Sprintf("%s: %s", t.ID, t.Title), series, plot.Options{
+		Width:  72,
+		Height: 18,
+		LogX:   true,
+		LogY:   true,
+		XLabel: "message size (bytes)",
+		YLabel: unit,
+	})
+	if err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// Plottable reports whether a table looks like a latency-vs-size panel.
+func Plottable(t Table) bool {
+	if len(t.Rows) == 0 || len(t.Headers) < 2 {
+		return false
+	}
+	if _, err := ParseSize(t.Rows[0][0]); err != nil {
+		return false
+	}
+	for i := 1; i < len(t.Headers); i++ {
+		if _, err := strconv.ParseFloat(t.Rows[0][i], 64); err != nil {
+			return false
+		}
+	}
+	return true
+}

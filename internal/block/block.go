@@ -1,0 +1,339 @@
+// Package block defines the data model shared by the real and simulated
+// execution engines: a Block is an m-byte contribution of one rank, a
+// Chunk is either a run of plaintext blocks or a single GCM ciphertext
+// covering some blocks, and a Message is an ordered list of chunks.
+//
+// The encrypted all-gather algorithms in internal/encrypted manipulate
+// messages at this granularity: "forward this ciphertext unmodified",
+// "merge these plaintext blocks into one ciphertext", "decrypt this chunk"
+// are all chunk operations, so one implementation of each algorithm serves
+// both the correctness engine (payloads are real bytes, chunks are really
+// sealed) and the timing engine (payloads are nil, only sizes matter).
+package block
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"encag/internal/seal"
+)
+
+// Block is the logical unit of all-gather data: the contribution of one
+// rank. Len is its plaintext length in bytes.
+type Block struct {
+	Origin int
+	Len    int64
+}
+
+// Chunk is a contiguous piece of a message: either plaintext blocks
+// (Enc=false) or exactly one ciphertext covering Blocks (Enc=true).
+//
+// In real mode, Payload holds the bytes: for a plaintext chunk the
+// concatenation of the blocks' payloads, for an encrypted chunk the sealed
+// blob (nonce || ciphertext || tag) whose AAD is the encoded header of
+// Blocks. In sim mode Payload is nil and only the lengths matter.
+type Chunk struct {
+	Enc     bool
+	Blocks  []Block
+	Payload []byte
+
+	// Tag labels which collective member contributed this chunk. It is
+	// positional bookkeeping only (the moral equivalent of MPI's receive
+	// buffer displacements) and occupies no wire bytes. Collectives that
+	// move compound contributions (e.g. the leader all-gather inside the
+	// HS algorithms) use it to regroup chunks per member.
+	Tag int
+}
+
+// PlainLen returns the total plaintext bytes covered by the chunk.
+func (c Chunk) PlainLen() int64 {
+	var n int64
+	for _, b := range c.Blocks {
+		n += b.Len
+	}
+	return n
+}
+
+// WireLen returns the bytes this chunk occupies on the wire: plaintext
+// length plus the GCM overhead if encrypted.
+func (c Chunk) WireLen() int64 {
+	n := c.PlainLen()
+	if c.Enc {
+		n += seal.Overhead
+	}
+	return n
+}
+
+// Real reports whether the chunk carries actual payload bytes.
+func (c Chunk) Real() bool { return c.Payload != nil }
+
+// Clone returns a deep copy of the chunk (payload shared: payloads are
+// immutable by convention).
+func (c Chunk) Clone() Chunk {
+	return Chunk{Enc: c.Enc, Blocks: append([]Block(nil), c.Blocks...), Payload: c.Payload, Tag: c.Tag}
+}
+
+// Message is an ordered list of chunks.
+type Message struct {
+	Chunks []Chunk
+}
+
+// WireLen returns the total on-the-wire size of the message.
+func (m Message) WireLen() int64 {
+	var n int64
+	for _, c := range m.Chunks {
+		n += c.WireLen()
+	}
+	return n
+}
+
+// PlainLen returns the total plaintext bytes covered by the message.
+func (m Message) PlainLen() int64 {
+	var n int64
+	for _, c := range m.Chunks {
+		n += c.PlainLen()
+	}
+	return n
+}
+
+// NumBlocks returns the number of logical blocks in the message.
+func (m Message) NumBlocks() int {
+	n := 0
+	for _, c := range m.Chunks {
+		n += len(c.Blocks)
+	}
+	return n
+}
+
+// NumCiphertexts returns how many encrypted chunks the message carries.
+func (m Message) NumCiphertexts() int {
+	n := 0
+	for _, c := range m.Chunks {
+		if c.Enc {
+			n++
+		}
+	}
+	return n
+}
+
+// HasCiphertext reports whether any chunk is encrypted.
+func (m Message) HasCiphertext() bool { return m.NumCiphertexts() > 0 }
+
+// Clone returns a deep copy (chunk payloads shared, immutable by
+// convention).
+func (m Message) Clone() Message {
+	out := Message{Chunks: make([]Chunk, len(m.Chunks))}
+	for i, c := range m.Chunks {
+		out.Chunks[i] = c.Clone()
+	}
+	return out
+}
+
+// Append adds chunks to the message.
+func (m *Message) Append(chunks ...Chunk) {
+	m.Chunks = append(m.Chunks, chunks...)
+}
+
+// Concat concatenates messages into one.
+func Concat(msgs ...Message) Message {
+	var out Message
+	for _, m := range msgs {
+		out.Chunks = append(out.Chunks, m.Chunks...)
+	}
+	return out
+}
+
+// NewPlain builds a real-mode single-block plaintext message. A nil
+// payload is normalized to an empty one: nil means "sim mode" elsewhere.
+func NewPlain(origin int, payload []byte) Message {
+	if payload == nil {
+		payload = []byte{}
+	}
+	return Message{Chunks: []Chunk{{
+		Blocks:  []Block{{Origin: origin, Len: int64(len(payload))}},
+		Payload: payload,
+	}}}
+}
+
+// NewSim builds a sim-mode single-block plaintext message of the given
+// size with no payload.
+func NewSim(origin int, size int64) Message {
+	return Message{Chunks: []Chunk{{
+		Blocks: []Block{{Origin: origin, Len: size}},
+	}}}
+}
+
+// headerMagic guards the AAD codec.
+const headerMagic = 0x45414731 // "EAG1"
+
+// EncodeHeader serializes a block list; it is bound to each ciphertext as
+// GCM additional authenticated data so that an adversary cannot re-route
+// or re-label an intercepted ciphertext without detection.
+func EncodeHeader(blocks []Block) []byte {
+	buf := make([]byte, 8+12*len(blocks))
+	binary.BigEndian.PutUint32(buf[0:], headerMagic)
+	binary.BigEndian.PutUint32(buf[4:], uint32(len(blocks)))
+	off := 8
+	for _, b := range blocks {
+		binary.BigEndian.PutUint32(buf[off:], uint32(b.Origin))
+		binary.BigEndian.PutUint64(buf[off+4:], uint64(b.Len))
+		off += 12
+	}
+	return buf
+}
+
+// DecodeHeader parses a header produced by EncodeHeader.
+func DecodeHeader(buf []byte) ([]Block, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("block: header too short: %d bytes", len(buf))
+	}
+	if binary.BigEndian.Uint32(buf[0:]) != headerMagic {
+		return nil, fmt.Errorf("block: bad header magic")
+	}
+	n := int(binary.BigEndian.Uint32(buf[4:]))
+	if len(buf) != 8+12*n {
+		return nil, fmt.Errorf("block: header length %d does not match count %d", len(buf), n)
+	}
+	blocks := make([]Block, n)
+	off := 8
+	for i := range blocks {
+		blocks[i].Origin = int(binary.BigEndian.Uint32(buf[off:]))
+		blocks[i].Len = int64(binary.BigEndian.Uint64(buf[off+4:]))
+		off += 12
+	}
+	return blocks, nil
+}
+
+// Pattern returns the deterministic test payload byte at index i of the
+// block contributed by origin.
+func Pattern(origin int, i int64) byte {
+	return byte(int64(origin)*131 + i*7 + 13)
+}
+
+// FillPattern builds the deterministic n-byte test payload for a rank.
+func FillPattern(origin int, n int64) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = Pattern(origin, int64(i))
+	}
+	return buf
+}
+
+// Normalize validates that msg is a complete plaintext all-gather result
+// for p ranks of size m each and returns per-origin payloads (real mode)
+// or nil payloads (sim mode). It fails if any chunk is still encrypted,
+// any origin is missing or duplicated, a length is wrong, or (real mode)
+// a payload does not match the deterministic pattern when checkPattern is
+// set.
+func Normalize(msg Message, p int, m int64, checkPattern bool) ([][]byte, error) {
+	sizes := make([]int64, p)
+	for i := range sizes {
+		sizes[i] = m
+	}
+	return NormalizeV(msg, sizes, checkPattern)
+}
+
+// NormalizeV is Normalize for variable block sizes (the all-gatherv
+// extension): sizes[origin] is the expected plaintext length of each
+// rank's contribution.
+func NormalizeV(msg Message, sizes []int64, checkPattern bool) ([][]byte, error) {
+	p := len(sizes)
+	payloads := make([][]byte, p)
+	have := make([]bool, p)
+	for ci, c := range msg.Chunks {
+		if c.Enc {
+			return nil, fmt.Errorf("block: chunk %d still encrypted in final result", ci)
+		}
+		var off int64
+		for _, b := range c.Blocks {
+			if b.Origin < 0 || b.Origin >= p {
+				return nil, fmt.Errorf("block: origin %d out of range [0,%d)", b.Origin, p)
+			}
+			if have[b.Origin] {
+				return nil, fmt.Errorf("block: origin %d duplicated", b.Origin)
+			}
+			if b.Len != sizes[b.Origin] {
+				return nil, fmt.Errorf("block: origin %d has length %d, want %d", b.Origin, b.Len, sizes[b.Origin])
+			}
+			have[b.Origin] = true
+			if c.Payload != nil {
+				if int64(len(c.Payload)) < off+b.Len {
+					return nil, fmt.Errorf("block: chunk %d payload too short", ci)
+				}
+				payloads[b.Origin] = c.Payload[off : off+b.Len]
+			}
+			off += b.Len
+		}
+		if c.Payload != nil && off != int64(len(c.Payload)) {
+			return nil, fmt.Errorf("block: chunk %d payload length %d does not match blocks (%d)", ci, len(c.Payload), off)
+		}
+	}
+	for origin, ok := range have {
+		if !ok {
+			return nil, fmt.Errorf("block: origin %d missing from result", origin)
+		}
+	}
+	if checkPattern {
+		for origin, pl := range payloads {
+			if pl == nil {
+				return nil, fmt.Errorf("block: origin %d has no payload in real mode", origin)
+			}
+			if !bytes.Equal(pl, FillPattern(origin, sizes[origin])) {
+				return nil, fmt.Errorf("block: origin %d payload corrupted", origin)
+			}
+		}
+	}
+	return payloads, nil
+}
+
+// SplitChunk splits a plaintext chunk into single-block chunks; in real
+// mode each receives the corresponding slice of the payload. It panics on
+// encrypted chunks: a ciphertext is indivisible.
+func SplitChunk(c Chunk) []Chunk {
+	if c.Enc {
+		panic("block: cannot split an encrypted chunk")
+	}
+	out := make([]Chunk, 0, len(c.Blocks))
+	var off int64
+	for _, b := range c.Blocks {
+		nc := Chunk{Blocks: []Block{b}, Tag: c.Tag}
+		if c.Payload != nil {
+			nc.Payload = c.Payload[off : off+b.Len]
+		}
+		off += b.Len
+		out = append(out, nc)
+	}
+	return out
+}
+
+// AssembleByOrigin flattens fully-plaintext messages into one message
+// with a single-block chunk per origin, sorted by origin rank — the
+// canonical final layout of an all-gather result.
+func AssembleByOrigin(msgs ...Message) Message {
+	var chunks []Chunk
+	for _, m := range msgs {
+		for _, c := range m.Chunks {
+			chunks = append(chunks, SplitChunk(c)...)
+		}
+	}
+	SortChunksByOrigin(chunks)
+	return Message{Chunks: chunks}
+}
+
+// SortChunksByOrigin orders single-block chunks by origin rank; chunks
+// covering multiple blocks sort by their first origin. It is used to
+// present final results in rank order.
+func SortChunksByOrigin(chunks []Chunk) {
+	sort.SliceStable(chunks, func(i, j int) bool {
+		oi, oj := -1, -1
+		if len(chunks[i].Blocks) > 0 {
+			oi = chunks[i].Blocks[0].Origin
+		}
+		if len(chunks[j].Blocks) > 0 {
+			oj = chunks[j].Blocks[0].Origin
+		}
+		return oi < oj
+	})
+}

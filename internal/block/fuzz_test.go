@@ -1,0 +1,28 @@
+package block
+
+import "testing"
+
+// FuzzDecodeHeader: arbitrary byte strings must never panic the header
+// parser, and valid headers must round-trip through it.
+func FuzzDecodeHeader(f *testing.F) {
+	f.Add(EncodeHeader([]Block{{Origin: 3, Len: 99}}))
+	f.Add(EncodeHeader(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0x45, 0x41, 0x47, 0x31})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		blocks, err := DecodeHeader(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode to the same bytes.
+		re := EncodeHeader(blocks)
+		if len(re) != len(data) {
+			t.Fatalf("re-encoded %d bytes from %d", len(re), len(data))
+		}
+		for i := range re {
+			if re[i] != data[i] {
+				t.Fatalf("round trip differs at byte %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,342 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"encag/internal/block"
+	"encag/internal/cost"
+)
+
+// ringPlain is a minimal unencrypted ring all-gather used to exercise the
+// engines; the production algorithms live in internal/collective.
+func ringPlain(p *Proc, mine block.Message) block.Message {
+	result := mine.Clone()
+	cur := mine
+	next := (p.Rank() + 1) % p.P()
+	prev := (p.Rank() - 1 + p.P()) % p.P()
+	for i := 0; i < p.P()-1; i++ {
+		cur = p.SendRecv(next, cur, prev)
+		result = block.Concat(result, cur)
+	}
+	return result
+}
+
+func TestSpecMappings(t *testing.T) {
+	b := Spec{P: 8, N: 2, Mapping: BlockMapping}
+	if b.NodeOf(0) != 0 || b.NodeOf(3) != 0 || b.NodeOf(4) != 1 || b.NodeOf(7) != 1 {
+		t.Fatal("block mapping wrong")
+	}
+	c := Spec{P: 8, N: 2, Mapping: CyclicMapping}
+	if c.NodeOf(0) != 0 || c.NodeOf(1) != 1 || c.NodeOf(2) != 0 || c.NodeOf(7) != 1 {
+		t.Fatal("cyclic mapping wrong")
+	}
+	ranks := c.RanksOnNode(1)
+	want := []int{1, 3, 5, 7}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("cyclic RanksOnNode(1) = %v, want %v", ranks, want)
+		}
+	}
+	if c.Leader(1) != 1 || b.Leader(1) != 4 {
+		t.Fatal("leader wrong")
+	}
+	if c.LocalIndex(5) != 2 {
+		t.Fatalf("LocalIndex(5) cyclic = %d, want 2", c.LocalIndex(5))
+	}
+	ro := c.RankOrdered()
+	if len(ro) != 8 || ro[0] != 0 || ro[1] != 2 || ro[4] != 1 {
+		t.Fatalf("RankOrdered cyclic = %v", ro)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{P: 0, N: 1},
+		{P: 4, N: 0},
+		{P: 5, N: 2},
+		{P: 4, N: 2, Mapping: CustomMapping, Custom: []int{0, 0, 1}},
+		{P: 4, N: 2, Mapping: CustomMapping, Custom: []int{0, 0, 0, 1}},
+		{P: 4, N: 2, Mapping: CustomMapping, Custom: []int{0, 0, 5, 1}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d (%v) unexpectedly valid", i, s)
+		}
+	}
+	good := Spec{P: 4, N: 2, Mapping: CustomMapping, Custom: []int{1, 0, 1, 0}}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRealRingAllgather(t *testing.T) {
+	spec := Spec{P: 8, N: 2, Mapping: BlockMapping}
+	res, err := RunReal(spec, 64, ringPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateGather(spec, 64, res.Results, true); err != nil {
+		t.Fatal(err)
+	}
+	// Every rank: p-1 rounds, (p-1)*64 bytes each direction.
+	for r, m := range res.PerRank {
+		if m.CommRounds != 7 {
+			t.Errorf("rank %d rounds = %d, want 7", r, m.CommRounds)
+		}
+		if m.BytesSent != 7*64 || m.BytesRecv != 7*64 {
+			t.Errorf("rank %d bytes = %d/%d, want 448/448", r, m.BytesSent, m.BytesRecv)
+		}
+	}
+	// Plaintext ring crosses nodes in the clear: audit must notice.
+	if res.Audit.Clean() {
+		t.Error("audit failed to flag plaintext inter-node traffic")
+	}
+}
+
+func TestSimRingMatchesHockney(t *testing.T) {
+	// With uniform alpha/bandwidth and no contention, the ring all-gather
+	// must cost exactly (p-1)(alpha + m/bw).
+	prof := cost.Profile{
+		Name:       "uniform",
+		AlphaInter: 1e-6, AlphaIntra: 1e-6,
+		NICTx: 1e18, NICRx: 1e18, CoreBW: 1e9,
+		MemPool: 1e18, MemFlowBW: 1e9,
+		AlphaEnc: 1e-6, AlphaDec: 1e-6, EncBW: 1e9, DecBW: 1e9,
+		AlphaCopy: 1e-6, CopyBW: 1e9,
+	}
+	const m = 1 << 20
+	spec := Spec{P: 8, N: 2, Mapping: BlockMapping}
+	res, err := RunSim(spec, prof, m, ringPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 7 * (1e-6 + float64(m)/1e9)
+	if math.Abs(res.Latency-want) > want*1e-9 {
+		t.Fatalf("ring latency = %g, want %g", res.Latency, want)
+	}
+	if err := ValidateGather(spec, m, res.Results, false); err != nil {
+		t.Fatal(err)
+	}
+	if res.Critical.Rc != 7 || res.Critical.Sc != 7*m {
+		t.Fatalf("critical = %+v", res.Critical)
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	spec := Spec{P: 16, N: 4, Mapping: CyclicMapping}
+	a, err := RunSim(spec, cost.Noleland(), 4096, ringPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(spec, cost.Noleland(), 4096, ringPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latency != b.Latency {
+		t.Fatalf("nondeterministic sim: %g vs %g", a.Latency, b.Latency)
+	}
+}
+
+func TestEncryptDecryptRealRoundTrip(t *testing.T) {
+	spec := Spec{P: 2, N: 2, Mapping: BlockMapping}
+	algo := func(p *Proc, mine block.Message) block.Message {
+		other := 1 - p.Rank()
+		ct := p.Encrypt(mine.Chunks...)
+		req := p.Isend(other, block.Message{Chunks: []block.Chunk{ct}})
+		in := p.Recv(other)
+		p.Wait(req)
+		if !in.HasCiphertext() {
+			p.Metrics() // no-op; just avoid unused warnings in odd paths
+			panic("expected ciphertext")
+		}
+		pt := p.DecryptAll(in)
+		return block.Concat(mine, pt)
+	}
+	res, err := RunReal(spec, 128, algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateGather(spec, 128, res.Results, true); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Audit.Clean() {
+		t.Fatalf("audit flagged violations: %v", res.Audit.Violations)
+	}
+	if res.Audit.InterMsgs != 2 {
+		t.Fatalf("InterMsgs = %d, want 2", res.Audit.InterMsgs)
+	}
+	if res.Sealer.DuplicateNonceSeen() {
+		t.Fatal("nonce reuse")
+	}
+	for r, m := range res.PerRank {
+		if m.EncRounds != 1 || m.EncBytes != 128 || m.DecRounds != 1 || m.DecBytes != 128 {
+			t.Fatalf("rank %d crypto metrics: %+v", r, m)
+		}
+	}
+}
+
+func TestSimCryptoCharges(t *testing.T) {
+	prof := cost.Profile{
+		Name:       "crypto",
+		AlphaInter: 0.5e-6, AlphaIntra: 0.5e-6,
+		NICTx: 1e18, NICRx: 1e18, CoreBW: 1e9,
+		MemPool: 1e18, MemFlowBW: 1e9,
+		AlphaEnc: 2e-6, AlphaDec: 3e-6, EncBW: 0.5e9, DecBW: 0.25e9,
+		AlphaCopy: 1e-6, CopyBW: 1e9,
+	}
+	spec := Spec{P: 2, N: 2, Mapping: BlockMapping}
+	const m = 1 << 20
+	algo := func(p *Proc, mine block.Message) block.Message {
+		other := 1 - p.Rank()
+		ct := p.Encrypt(mine.Chunks...)
+		in := p.SendRecv(other, block.Message{Chunks: []block.Chunk{ct}}, other)
+		return block.Concat(mine, p.DecryptAll(in))
+	}
+	res, err := RunSim(spec, prof, m, algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := float64(m + 28)
+	want := (2e-6 + float64(m)/0.5e9) + (0.5e-6 + wire/1e9) + (3e-6 + float64(m)/0.25e9)
+	if math.Abs(res.Latency-want) > want*1e-9 {
+		t.Fatalf("latency = %g, want %g", res.Latency, want)
+	}
+}
+
+func TestShmAndNodeBarrier(t *testing.T) {
+	spec := Spec{P: 8, N: 2, Mapping: BlockMapping}
+	algo := func(p *Proc, mine block.Message) block.Message {
+		// Leader-gathers-via-shm then everyone reads everything: a
+		// miniature HS step 1 within the node, then an inter-node leader
+		// exchange, encrypted.
+		p.ShmPut(shmKey("own", p.Rank()), mine)
+		p.NodeBarrier()
+		var node block.Message
+		for _, r := range p.Spec().RanksOnNode(p.Node()) {
+			node = block.Concat(node, p.ShmGet(shmKey("own", r)))
+		}
+		if p.IsLeader() {
+			ct := p.Encrypt(node.Chunks...)
+			otherLeader := p.Spec().Leader(1 - p.Node())
+			in := p.SendRecv(otherLeader, block.Message{Chunks: []block.Chunk{ct}}, otherLeader)
+			p.ShmPut("remote", p.DecryptAll(in))
+		}
+		p.NodeBarrier()
+		remote := p.ShmGet("remote")
+		return block.Concat(node, remote)
+	}
+	res, err := RunReal(spec, 32, algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateGather(spec, 32, res.Results, true); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Audit.Clean() {
+		t.Fatalf("violations: %v", res.Audit.Violations)
+	}
+	// The same algorithm must run in the sim engine.
+	sres, err := RunSim(spec, cost.Noleland(), 32, algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateGather(spec, 32, sres.Results, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShmMissingKeyPanics(t *testing.T) {
+	spec := Spec{P: 2, N: 1, Mapping: BlockMapping}
+	_, err := RunReal(spec, 8, func(p *Proc, mine block.Message) block.Message {
+		p.ShmGet("never-put")
+		return mine
+	})
+	if err == nil {
+		t.Fatal("expected error for missing shm key")
+	}
+}
+
+func TestSimDeadlockSurfacesAsError(t *testing.T) {
+	spec := Spec{P: 2, N: 2, Mapping: BlockMapping}
+	_, err := RunSim(spec, cost.Noleland(), 8, func(p *Proc, mine block.Message) block.Message {
+		if p.Rank() == 0 {
+			p.Recv(1) // rank 1 never sends
+		}
+		return mine
+	})
+	if err == nil {
+		t.Fatal("expected deadlock error from sim engine")
+	}
+}
+
+func TestTamperedCiphertextCaughtEndToEnd(t *testing.T) {
+	spec := Spec{P: 2, N: 2, Mapping: BlockMapping}
+	_, err := RunReal(spec, 64, func(p *Proc, mine block.Message) block.Message {
+		other := 1 - p.Rank()
+		ct := p.Encrypt(mine.Chunks...)
+		if p.Rank() == 0 {
+			// Simulate a network adversary flipping a ciphertext bit.
+			tampered := append([]byte(nil), ct.Payload...)
+			tampered[len(tampered)/2] ^= 1
+			ct.Payload = tampered
+		}
+		in := p.SendRecv(other, block.Message{Chunks: []block.Chunk{ct}}, other)
+		return block.Concat(mine, p.DecryptAll(in))
+	})
+	if err == nil {
+		t.Fatal("tampered ciphertext must fail authentication")
+	}
+}
+
+func shmKey(prefix string, rank int) string {
+	return prefix + "/" + string(rune('0'+rank%10)) + string(rune('a'+rank/10))
+}
+
+func TestCriticalPathFold(t *testing.T) {
+	per := []Metrics{
+		{CommRounds: 3, BytesSent: 10, BytesRecv: 40, EncRounds: 1, EncBytes: 5},
+		{CommRounds: 7, BytesSent: 90, BytesRecv: 20, DecRounds: 4, DecBytes: 100},
+	}
+	c := CriticalPath(per)
+	if c.Rc != 7 || c.Sc != 90 || c.Re != 1 || c.Se != 5 || c.Rd != 4 || c.Sd != 100 {
+		t.Fatalf("critical = %+v", c)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if got := (Spec{P: 8, N: 2, Mapping: CyclicMapping}).String(); got != "p=8 N=2 l=4 cyclic" {
+		t.Fatalf("Spec.String = %q", got)
+	}
+	if BlockMapping.String() != "block" || CustomMapping.String() != "custom" {
+		t.Fatal("MappingKind.String wrong")
+	}
+	if MappingKind(99).String() == "" {
+		t.Fatal("unknown mapping should still print")
+	}
+	c := Critical{Rc: 1, Sc: 2, Re: 3, Se: 4, Rd: 5, Sd: 6}
+	if c.String() != "rc=1 sc=2 re=3 se=4 rd=5 sd=6" {
+		t.Fatalf("Critical.String = %q", c.String())
+	}
+}
+
+func TestLeadersAndRankOrderedCustom(t *testing.T) {
+	spec := Spec{P: 6, N: 3, Mapping: CustomMapping, Custom: []int{2, 0, 1, 2, 0, 1}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	leaders := spec.Leaders()
+	want := []int{1, 2, 0} // lowest rank on each node
+	for i := range want {
+		if leaders[i] != want[i] {
+			t.Fatalf("Leaders = %v, want %v", leaders, want)
+		}
+	}
+	ro := spec.RankOrdered()
+	wantRO := []int{1, 4, 2, 5, 0, 3} // node 0 ranks, node 1 ranks, node 2 ranks
+	for i := range wantRO {
+		if ro[i] != wantRO[i] {
+			t.Fatalf("RankOrdered = %v, want %v", ro, wantRO)
+		}
+	}
+}

@@ -1,0 +1,410 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"encag/internal/block"
+	"encag/internal/seal"
+)
+
+// Algorithm is an all-gather implementation: given a rank handle and the
+// rank's own contribution, it returns the gathered result (all p blocks,
+// fully decrypted).
+type Algorithm func(p *Proc, mine block.Message) block.Message
+
+// SecurityAudit records what the transport observed, so tests can prove
+// the paper's security property: plaintext never crosses a node boundary.
+type SecurityAudit struct {
+	mu                 sync.Mutex
+	InterMsgs          int
+	IntraMsgs          int
+	PlaintextInterMsgs int
+	Violations         []string
+}
+
+func (a *SecurityAudit) record(spec Spec, src, dst int, msg block.Message) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if spec.SameNode(src, dst) {
+		a.IntraMsgs++
+		return
+	}
+	a.InterMsgs++
+	for _, c := range msg.Chunks {
+		if !c.Enc && c.PlainLen() > 0 {
+			a.PlaintextInterMsgs++
+			if len(a.Violations) < 32 {
+				a.Violations = append(a.Violations,
+					fmt.Sprintf("plaintext chunk (%d bytes) sent %d -> %d across nodes", c.PlainLen(), src, dst))
+			}
+			break
+		}
+	}
+}
+
+// Clean reports whether no plaintext crossed node boundaries.
+func (a *SecurityAudit) Clean() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.PlaintextInterMsgs == 0
+}
+
+type envelope struct {
+	src int
+	msg block.Message
+}
+
+// Adversary intercepts inter-node messages in the real engine, modelling
+// the paper's threat: a network attacker who can observe and modify
+// traffic between nodes. It returns the (possibly tampered) message to
+// deliver. Intra-node messages never pass through it — they never leave
+// the trusted node.
+type Adversary func(src, dst int, msg block.Message) block.Message
+
+type realEngine struct {
+	spec      Spec
+	slr       *seal.Sealer
+	boxes     []chan envelope     // one inbox per rank
+	pend      [][][]block.Message // [rank][src] buffered out-of-order arrivals
+	shm       []*realShm
+	bars      []*realBarrier
+	audit     *SecurityAudit
+	adversary Adversary
+	aborted   chan struct{} // closed when any rank fails: unblocks peers
+	abortOnce sync.Once
+}
+
+// errRunAborted marks the secondary panics of ranks unblocked by abort;
+// runReal reports the primary failure instead of these.
+const errRunAborted = "cluster: run aborted by failure on another rank"
+
+func (e *realEngine) abort() {
+	e.abortOnce.Do(func() {
+		close(e.aborted)
+		for _, b := range e.bars {
+			b.abort()
+		}
+	})
+}
+
+type realShm struct {
+	mu sync.RWMutex
+	m  map[string]block.Message
+}
+
+type realBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     int
+	dead    bool
+}
+
+func (b *realBarrier) abort() {
+	b.mu.Lock()
+	b.dead = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func newRealBarrier(n int) *realBarrier {
+	b := &realBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *realBarrier) await() {
+	b.mu.Lock()
+	if b.dead {
+		b.mu.Unlock()
+		panic(errRunAborted)
+	}
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for b.gen == gen && !b.dead {
+			b.cond.Wait()
+		}
+	}
+	dead := b.dead
+	b.mu.Unlock()
+	if dead {
+		panic(errRunAborted)
+	}
+}
+
+type realSendReq struct{}
+type realRecvReq struct{ src int }
+
+func (realSendReq) isRequest() {}
+func (realRecvReq) isRequest() {}
+
+func (e *realEngine) isend(p *Proc, dst int, msg block.Message) Request {
+	e.audit.record(e.spec, p.rank, dst, msg)
+	if e.adversary != nil && !e.spec.SameNode(p.rank, dst) {
+		msg = e.adversary(p.rank, dst, msg)
+	}
+	select {
+	case e.boxes[dst] <- envelope{src: p.rank, msg: msg}:
+	case <-e.aborted:
+		panic(errRunAborted)
+	}
+	return realSendReq{}
+}
+
+func (e *realEngine) irecv(p *Proc, src int) Request {
+	return realRecvReq{src: src}
+}
+
+func (e *realEngine) wait(p *Proc, reqs []Request) []block.Message {
+	out := make([]block.Message, len(reqs))
+	for i, r := range reqs {
+		rr, ok := r.(realRecvReq)
+		if !ok {
+			continue // sends are already enqueued
+		}
+		out[i] = e.recvFrom(p.rank, rr.src)
+	}
+	return out
+}
+
+// recvFrom returns the next message from src to rank, buffering messages
+// from other sources that arrive in between.
+func (e *realEngine) recvFrom(rank, src int) block.Message {
+	pend := e.pend[rank]
+	if len(pend[src]) > 0 {
+		msg := pend[src][0]
+		pend[src] = pend[src][1:]
+		return msg
+	}
+	for {
+		select {
+		case env := <-e.boxes[rank]:
+			if env.src == src {
+				return env.msg
+			}
+			pend[env.src] = append(pend[env.src], env.msg)
+		case <-e.aborted:
+			panic(errRunAborted)
+		}
+	}
+}
+
+func (e *realEngine) chargeEncrypt(p *Proc, n int64) {}
+func (e *realEngine) chargeDecrypt(p *Proc, n int64) {}
+func (e *realEngine) chargeCopy(p *Proc, n int64)    {}
+
+func (e *realEngine) shmPut(p *Proc, key string, msg block.Message) {
+	s := e.shm[p.Node()]
+	s.mu.Lock()
+	s.m[key] = msg
+	s.mu.Unlock()
+}
+
+func (e *realEngine) shmGet(p *Proc, key string) (block.Message, bool) {
+	s := e.shm[p.Node()]
+	s.mu.RLock()
+	msg, ok := s.m[key]
+	s.mu.RUnlock()
+	return msg, ok
+}
+
+func (e *realEngine) nodeBarrier(p *Proc) {
+	e.bars[p.Node()].await()
+}
+
+func (e *realEngine) sealer() *seal.Sealer { return e.slr }
+
+// RealResult is the outcome of RunReal.
+type RealResult struct {
+	Results  []block.Message // per-rank gathered result
+	PerRank  []Metrics
+	Critical Critical
+	Audit    *SecurityAudit
+	Sealer   *seal.Sealer
+	Elapsed  time.Duration
+}
+
+// RealTimeout bounds RunReal's wall-clock execution; a deadlocked
+// algorithm surfaces as an error instead of a hung test binary.
+var RealTimeout = 60 * time.Second
+
+// RunReal executes algo on every rank concurrently with real payloads and
+// real AES-GCM, returning results, metrics and the transport security
+// audit. Each rank contributes the deterministic test pattern.
+func RunReal(spec Spec, msgSize int64, algo Algorithm) (*RealResult, error) {
+	return RunRealData(spec, msgSize, nil, algo)
+}
+
+// RunRealData is RunReal with caller-supplied contributions: payloads[r]
+// is rank r's block (all must share msgSize length). A nil payloads uses
+// the deterministic test pattern.
+func RunRealData(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm) (*RealResult, error) {
+	if payloads != nil {
+		for r, pl := range payloads {
+			if int64(len(pl)) != msgSize {
+				return nil, fmt.Errorf("cluster: rank %d payload is %d bytes, want %d", r, len(pl), msgSize)
+			}
+		}
+	}
+	return runReal(spec, msgSize, payloads, algo, nil)
+}
+
+// RunRealAdversarial is RunReal with a man-in-the-middle on every
+// inter-node link: adv sees (and may modify) each message that crosses a
+// node boundary. Used to verify end-to-end that tampering cannot go
+// undetected in any algorithm.
+func RunRealAdversarial(spec Spec, msgSize int64, algo Algorithm, adv Adversary) (*RealResult, error) {
+	return runReal(spec, msgSize, nil, algo, adv)
+}
+
+// RunRealV is the all-gatherv variant: contributions may have different
+// lengths (including zero). payloads[r] is rank r's block.
+func RunRealV(spec Spec, payloads [][]byte, algo Algorithm) (*RealResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(payloads) != spec.P {
+		return nil, fmt.Errorf("cluster: %d payloads for %d ranks", len(payloads), spec.P)
+	}
+	return runReal(spec, 0, payloads, algo, nil)
+}
+
+func runReal(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, adv Adversary) (*RealResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if payloads != nil && len(payloads) != spec.P {
+		return nil, fmt.Errorf("cluster: %d payloads for %d ranks", len(payloads), spec.P)
+	}
+	slr, err := seal.NewRandomSealer()
+	if err != nil {
+		return nil, err
+	}
+	slr.EnableNonceAudit()
+	e := &realEngine{
+		spec:      spec,
+		slr:       slr,
+		boxes:     make([]chan envelope, spec.P),
+		pend:      make([][][]block.Message, spec.P),
+		shm:       make([]*realShm, spec.N),
+		bars:      make([]*realBarrier, spec.N),
+		audit:     &SecurityAudit{},
+		adversary: adv,
+		aborted:   make(chan struct{}),
+	}
+	for r := 0; r < spec.P; r++ {
+		e.boxes[r] = make(chan envelope, 2*spec.P+16)
+		e.pend[r] = make([][]block.Message, spec.P)
+	}
+	for n := 0; n < spec.N; n++ {
+		e.shm[n] = &realShm{m: make(map[string]block.Message)}
+		e.bars[n] = newRealBarrier(spec.Ell())
+	}
+
+	sizes := make([]int64, spec.P)
+	for r := range sizes {
+		if payloads != nil {
+			sizes[r] = int64(len(payloads[r]))
+		} else {
+			sizes[r] = msgSize
+		}
+	}
+	res := &RealResult{
+		Results: make([]block.Message, spec.P),
+		PerRank: make([]Metrics, spec.P),
+		Audit:   e.audit,
+		Sealer:  slr,
+	}
+	errs := make(chan error, spec.P)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < spec.P; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					e.abort()
+					select {
+					case errs <- fmt.Errorf("cluster: rank %d: %v", r, rec):
+					default:
+					}
+				}
+			}()
+			p := &Proc{rank: r, spec: spec, met: &res.PerRank[r], eng: e, sizes: sizes}
+			payload := block.FillPattern(r, msgSize)
+			if payloads != nil {
+				payload = payloads[r]
+			}
+			mine := block.NewPlain(r, payload)
+			res.Results[r] = algo(p, mine)
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(RealTimeout):
+		return nil, fmt.Errorf("cluster: real run timed out after %v (algorithm deadlock?) on %v", RealTimeout, spec)
+	}
+	res.Elapsed = time.Since(start)
+	var firstErr error
+drain:
+	for {
+		select {
+		case err := <-errs:
+			// Prefer the primary failure over secondary abort panics.
+			if firstErr == nil || (strings.Contains(firstErr.Error(), errRunAborted) &&
+				!strings.Contains(err.Error(), errRunAborted)) {
+				if firstErr == nil || !strings.Contains(err.Error(), errRunAborted) {
+					firstErr = err
+				}
+			}
+		default:
+			break drain
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Critical = CriticalPath(res.PerRank)
+	return res, nil
+}
+
+// ValidateGather checks that every rank's result is a complete, correctly
+// ordered, fully decrypted all-gather of p blocks of msgSize bytes, with
+// payload pattern verification in real mode.
+func ValidateGather(spec Spec, msgSize int64, results []block.Message, checkPayload bool) error {
+	if len(results) != spec.P {
+		return fmt.Errorf("cluster: %d results for %d ranks", len(results), spec.P)
+	}
+	for r, msg := range results {
+		if _, err := block.Normalize(msg, spec.P, msgSize, checkPayload); err != nil {
+			return fmt.Errorf("cluster: rank %d result invalid: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// ValidateGatherV is ValidateGather for variable block sizes.
+func ValidateGatherV(spec Spec, sizes []int64, results []block.Message, checkPayload bool) error {
+	if len(results) != spec.P {
+		return fmt.Errorf("cluster: %d results for %d ranks", len(results), spec.P)
+	}
+	for r, msg := range results {
+		if _, err := block.NormalizeV(msg, sizes, checkPayload); err != nil {
+			return fmt.Errorf("cluster: rank %d result invalid: %w", r, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"encag/internal/block"
+	"encag/internal/cost"
+	"encag/internal/netsim"
+	"encag/internal/seal"
+	"encag/internal/sim"
+)
+
+// TraceKind labels what a rank was doing during a TraceEvent.
+type TraceKind uint8
+
+// Trace event kinds emitted by the sim engine.
+const (
+	TraceSend TraceKind = iota
+	TraceRecv
+	TraceEncrypt
+	TraceDecrypt
+	TraceCopy
+	TraceBarrier
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSend:
+		return "send"
+	case TraceRecv:
+		return "recv"
+	case TraceEncrypt:
+		return "encrypt"
+	case TraceDecrypt:
+		return "decrypt"
+	case TraceCopy:
+		return "copy"
+	case TraceBarrier:
+		return "barrier"
+	}
+	return "unknown"
+}
+
+// TraceEvent is one interval of activity on one rank, in virtual time.
+type TraceEvent struct {
+	Rank  int
+	Kind  TraceKind
+	Start float64 // seconds
+	End   float64
+	Bytes int64
+	Peer  int // other rank for send/recv, -1 otherwise
+}
+
+// Tracer receives the sim engine's activity intervals as they complete.
+type Tracer interface {
+	Record(ev TraceEvent)
+}
+
+type msgQueue struct {
+	msgs []block.Message
+	gate *sim.Signal
+}
+
+type simEngine struct {
+	spec   Spec
+	prof   cost.Profile
+	env    *sim.Env
+	net    *netsim.Network
+	sprocs []*sim.Proc
+	queues [][]*msgQueue // [dst][src], created lazily
+	shm    []map[string]block.Message
+	bars   []*simBarrier
+	tracer Tracer // nil unless RunSimTraced
+}
+
+func (e *simEngine) trace(ev TraceEvent) {
+	if e.tracer != nil {
+		e.tracer.Record(ev)
+	}
+}
+
+type simBarrier struct {
+	env     *sim.Env
+	n       int
+	arrived int
+	gate    *sim.Signal
+}
+
+func (b *simBarrier) await(sp *sim.Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		old := b.gate
+		b.gate = sim.NewGate(b.env)
+		old.Fire()
+		return
+	}
+	b.gate.Wait(sp)
+}
+
+type simSendReq struct{ flow *netsim.Flow }
+type simRecvReq struct{ src int }
+
+func (simSendReq) isRequest() {}
+func (simRecvReq) isRequest() {}
+
+func (e *simEngine) sproc(p *Proc) *sim.Proc {
+	sp := e.sprocs[p.rank]
+	if sp == nil {
+		panic(fmt.Sprintf("cluster: sim rank %d used before start", p.rank))
+	}
+	return sp
+}
+
+func (e *simEngine) queue(dst, src int) *msgQueue {
+	q := e.queues[dst][src]
+	if q == nil {
+		q = &msgQueue{gate: sim.NewGate(e.env)}
+		e.queues[dst][src] = q
+	}
+	return q
+}
+
+func (e *simEngine) isend(p *Proc, dst int, msg block.Message) Request {
+	sp := e.sproc(p)
+	src := p.rank
+	srcNode, dstNode := e.spec.NodeOf(src), e.spec.NodeOf(dst)
+	alpha := e.prof.AlphaInter
+	flowCap := e.prof.CoreBW
+	if srcNode == dstNode {
+		alpha = e.prof.AlphaIntra
+		flowCap = e.prof.MemFlowBW
+	}
+	// The startup cost occupies the sender before any bytes move.
+	start := sp.Now()
+	sp.Wait(alpha)
+	flow := e.net.StartFlow(srcNode, dstNode, float64(msg.WireLen()), flowCap)
+	flow.Done().OnFire(func() {
+		q := e.queue(dst, src)
+		q.msgs = append(q.msgs, msg)
+		q.gate.Fire()
+		e.trace(TraceEvent{Rank: src, Kind: TraceSend, Start: start, End: e.env.Now(), Bytes: msg.WireLen(), Peer: dst})
+	})
+	return simSendReq{flow: flow}
+}
+
+func (e *simEngine) irecv(p *Proc, src int) Request {
+	return simRecvReq{src: src}
+}
+
+func (e *simEngine) wait(p *Proc, reqs []Request) []block.Message {
+	sp := e.sproc(p)
+	out := make([]block.Message, len(reqs))
+	for i, r := range reqs {
+		switch rr := r.(type) {
+		case simSendReq:
+			rr.flow.WaitDone(sp)
+		case simRecvReq:
+			start := sp.Now()
+			q := e.queue(p.rank, rr.src)
+			for len(q.msgs) == 0 {
+				q.gate.Wait(sp)
+			}
+			out[i] = q.msgs[0]
+			q.msgs = q.msgs[1:]
+			e.trace(TraceEvent{Rank: p.rank, Kind: TraceRecv, Start: start, End: sp.Now(), Bytes: out[i].WireLen(), Peer: rr.src})
+		default:
+			panic(fmt.Sprintf("cluster: foreign request type %T in sim engine", r))
+		}
+	}
+	return out
+}
+
+func (e *simEngine) chargeEncrypt(p *Proc, n int64) {
+	sp := e.sproc(p)
+	start := sp.Now()
+	sp.Wait(e.prof.EncryptTime(n))
+	e.trace(TraceEvent{Rank: p.rank, Kind: TraceEncrypt, Start: start, End: sp.Now(), Bytes: n, Peer: -1})
+}
+
+func (e *simEngine) chargeDecrypt(p *Proc, n int64) {
+	sp := e.sproc(p)
+	start := sp.Now()
+	sp.Wait(e.prof.DecryptTime(n))
+	e.trace(TraceEvent{Rank: p.rank, Kind: TraceDecrypt, Start: start, End: sp.Now(), Bytes: n, Peer: -1})
+}
+
+func (e *simEngine) chargeCopy(p *Proc, n int64) {
+	sp := e.sproc(p)
+	start := sp.Now()
+	sp.Wait(e.prof.CopyTime(n))
+	e.trace(TraceEvent{Rank: p.rank, Kind: TraceCopy, Start: start, End: sp.Now(), Bytes: n, Peer: -1})
+}
+
+func (e *simEngine) shmPut(p *Proc, key string, msg block.Message) {
+	e.shm[p.Node()][key] = msg
+}
+
+func (e *simEngine) shmGet(p *Proc, key string) (block.Message, bool) {
+	msg, ok := e.shm[p.Node()][key]
+	return msg, ok
+}
+
+func (e *simEngine) nodeBarrier(p *Proc) {
+	sp := e.sproc(p)
+	start := sp.Now()
+	if c := e.prof.BarrierTime(e.spec.Ell()); c > 0 {
+		sp.Wait(c)
+	}
+	e.bars[p.Node()].await(sp)
+	e.trace(TraceEvent{Rank: p.rank, Kind: TraceBarrier, Start: start, End: sp.Now(), Peer: -1})
+}
+
+func (e *simEngine) sealer() *seal.Sealer { return nil }
+
+// SimResult is the outcome of RunSim.
+type SimResult struct {
+	Latency    float64       // modelled completion time of the last rank, seconds
+	LatencyD   time.Duration // same, as a Duration
+	PerRank    []Metrics
+	Critical   Critical
+	Results    []block.Message
+	EndTimes   []float64
+	InterBytes float64 // total bytes that crossed node boundaries
+	IntraBytes float64
+}
+
+// RunSim executes algo on every rank inside the discrete-event simulator
+// under the given machine profile and returns the modelled latency along
+// with the same metrics and logical results as the real engine (payloads
+// are symbolic).
+func RunSim(spec Spec, prof cost.Profile, msgSize int64, algo Algorithm) (*SimResult, error) {
+	return RunSimTraced(spec, prof, msgSize, algo, nil)
+}
+
+// RunSimTraced is RunSim with an activity tracer: every send, receive,
+// encryption, decryption, copy and barrier interval of every rank is
+// reported, in virtual time (see internal/trace for collection and
+// rendering).
+func RunSimTraced(spec Spec, prof cost.Profile, msgSize int64, algo Algorithm, tracer Tracer) (*SimResult, error) {
+	if spec.P <= 0 {
+		return nil, fmt.Errorf("cluster: invalid P=%d", spec.P)
+	}
+	sizes := make([]int64, spec.P)
+	for i := range sizes {
+		sizes[i] = msgSize
+	}
+	return runSim(spec, prof, sizes, algo, tracer)
+}
+
+// RunSimV is the all-gatherv variant of RunSim: sizes[r] is rank r's
+// contribution length.
+func RunSimV(spec Spec, prof cost.Profile, sizes []int64, algo Algorithm) (*SimResult, error) {
+	if len(sizes) != spec.P {
+		return nil, fmt.Errorf("cluster: %d sizes for %d ranks", len(sizes), spec.P)
+	}
+	return runSim(spec, prof, sizes, algo, nil)
+}
+
+func runSim(spec Spec, prof cost.Profile, sizes []int64, algo Algorithm, tracer Tracer) (*SimResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	// Simulation runs churn through millions of short-lived events, flows
+	// and messages; relax the collector for the duration.
+	defer debug.SetGCPercent(debug.SetGCPercent(400))
+	env := sim.NewEnv()
+	net := netsim.New(env, netsim.Config{
+		Nodes:  spec.N,
+		TxCap:  prof.NICTx,
+		RxCap:  prof.NICRx,
+		MemCap: prof.MemPool,
+	})
+	e := &simEngine{
+		spec:   spec,
+		prof:   prof,
+		env:    env,
+		net:    net,
+		sprocs: make([]*sim.Proc, spec.P),
+		queues: make([][]*msgQueue, spec.P),
+		shm:    make([]map[string]block.Message, spec.N),
+		bars:   make([]*simBarrier, spec.N),
+		tracer: tracer,
+	}
+	for r := 0; r < spec.P; r++ {
+		e.queues[r] = make([]*msgQueue, spec.P)
+	}
+	for n := 0; n < spec.N; n++ {
+		e.shm[n] = make(map[string]block.Message)
+		e.bars[n] = &simBarrier{env: env, n: spec.Ell(), gate: sim.NewGate(env)}
+	}
+
+	res := &SimResult{
+		PerRank:  make([]Metrics, spec.P),
+		Results:  make([]block.Message, spec.P),
+		EndTimes: make([]float64, spec.P),
+	}
+	finished := make([]bool, spec.P)
+	for r := 0; r < spec.P; r++ {
+		r := r
+		env.Go(fmt.Sprintf("rank%d", r), func(sp *sim.Proc) {
+			e.sprocs[r] = sp
+			p := &Proc{rank: r, spec: spec, met: &res.PerRank[r], eng: e, sizes: sizes}
+			mine := block.NewSim(r, sizes[r])
+			res.Results[r] = algo(p, mine)
+			res.EndTimes[r] = sp.Now()
+			finished[r] = true
+		})
+	}
+	if err := env.Run(); err != nil {
+		return nil, fmt.Errorf("cluster: sim run failed on %v: %w", spec, err)
+	}
+	for r, ok := range finished {
+		if !ok {
+			return nil, fmt.Errorf("cluster: sim rank %d never finished on %v", r, spec)
+		}
+		if res.EndTimes[r] > res.Latency {
+			res.Latency = res.EndTimes[r]
+		}
+	}
+	res.LatencyD = time.Duration(res.Latency * float64(time.Second))
+	res.Critical = CriticalPath(res.PerRank)
+	res.InterBytes = net.InterBytes
+	res.IntraBytes = net.IntraBytes
+	return res, nil
+}

@@ -1,0 +1,367 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"encag/internal/block"
+	"encag/internal/seal"
+	"encag/internal/wire"
+)
+
+// WireSniffer captures the raw bytes written to inter-node connections —
+// the exact view a network eavesdropper gets. Tests scan the capture for
+// plaintext patterns: finding none (while a plaintext-algorithm control
+// run does expose them) demonstrates the security property on real
+// sockets, not just at the audit layer.
+type WireSniffer struct {
+	mu      sync.Mutex
+	buf     bytes.Buffer
+	total   int64
+	capped  bool
+	MaxKeep int64 // capture cap in bytes (default 8 MiB)
+}
+
+func (s *WireSniffer) record(p []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total += int64(len(p))
+	max := s.MaxKeep
+	if max == 0 {
+		max = 8 << 20
+	}
+	if int64(s.buf.Len()) < max {
+		room := max - int64(s.buf.Len())
+		if int64(len(p)) > room {
+			p = p[:room]
+			s.capped = true
+		}
+		s.buf.Write(p)
+	} else {
+		s.capped = true
+	}
+}
+
+// Bytes returns the captured inter-node wire bytes (possibly truncated
+// at MaxKeep).
+func (s *WireSniffer) Bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.buf.Bytes()...)
+}
+
+// Total returns how many inter-node bytes crossed the wire in total.
+func (s *WireSniffer) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Truncated reports whether the capture hit MaxKeep and dropped bytes.
+func (s *WireSniffer) Truncated() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.capped
+}
+
+// Contains reports whether needle appears in the captured wire bytes.
+func (s *WireSniffer) Contains(needle []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return bytes.Contains(s.buf.Bytes(), needle)
+}
+
+// sniffConn wraps the write side of an inter-node connection.
+type sniffConn struct {
+	net.Conn
+	sniffer *WireSniffer
+}
+
+func (c *sniffConn) Write(p []byte) (int, error) {
+	c.sniffer.record(p)
+	return c.Conn.Write(p)
+}
+
+type tcpEngine struct {
+	spec      Spec
+	slr       *seal.Sealer
+	conns     [][]net.Conn // [src][dst], nil on the diagonal
+	boxes     []chan envelope
+	pend      [][][]block.Message
+	shm       []*realShm
+	bars      []*realBarrier
+	audit     *SecurityAudit
+	sniffer   *WireSniffer
+	aborted   chan struct{}
+	abortOnce sync.Once
+	readersWG sync.WaitGroup
+}
+
+func (e *tcpEngine) abort() {
+	e.abortOnce.Do(func() {
+		close(e.aborted)
+		for _, b := range e.bars {
+			b.abort()
+		}
+		for _, row := range e.conns {
+			for _, c := range row {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+	})
+}
+
+type tcpSendReq struct{}
+
+func (tcpSendReq) isRequest() {}
+
+func (e *tcpEngine) isend(p *Proc, dst int, msg block.Message) Request {
+	e.audit.record(e.spec, p.rank, dst, msg)
+	conn := e.conns[p.rank][dst]
+	if err := wire.WriteMessage(conn, p.rank, msg); err != nil {
+		panic(fmt.Sprintf("cluster: tcp send %d->%d: %v", p.rank, dst, err))
+	}
+	return tcpSendReq{}
+}
+
+func (e *tcpEngine) irecv(p *Proc, src int) Request {
+	return realRecvReq{src: src}
+}
+
+func (e *tcpEngine) wait(p *Proc, reqs []Request) []block.Message {
+	out := make([]block.Message, len(reqs))
+	for i, r := range reqs {
+		rr, ok := r.(realRecvReq)
+		if !ok {
+			continue
+		}
+		out[i] = e.recvFrom(p.rank, rr.src)
+	}
+	return out
+}
+
+func (e *tcpEngine) recvFrom(rank, src int) block.Message {
+	pend := e.pend[rank]
+	if len(pend[src]) > 0 {
+		msg := pend[src][0]
+		pend[src] = pend[src][1:]
+		return msg
+	}
+	for {
+		select {
+		case env := <-e.boxes[rank]:
+			if env.src == src {
+				return env.msg
+			}
+			pend[env.src] = append(pend[env.src], env.msg)
+		case <-e.aborted:
+			panic(errRunAborted)
+		}
+	}
+}
+
+func (e *tcpEngine) chargeEncrypt(p *Proc, n int64) {}
+func (e *tcpEngine) chargeDecrypt(p *Proc, n int64) {}
+func (e *tcpEngine) chargeCopy(p *Proc, n int64)    {}
+
+func (e *tcpEngine) shmPut(p *Proc, key string, msg block.Message) {
+	s := e.shm[p.Node()]
+	s.mu.Lock()
+	s.m[key] = msg
+	s.mu.Unlock()
+}
+
+func (e *tcpEngine) shmGet(p *Proc, key string) (block.Message, bool) {
+	s := e.shm[p.Node()]
+	s.mu.RLock()
+	msg, ok := s.m[key]
+	s.mu.RUnlock()
+	return msg, ok
+}
+
+func (e *tcpEngine) nodeBarrier(p *Proc)  { e.bars[p.Node()].await() }
+func (e *tcpEngine) sealer() *seal.Sealer { return e.slr }
+
+// TCPResult extends the real-engine result with the wire capture.
+type TCPResult struct {
+	RealResult
+	Sniffer *WireSniffer
+}
+
+// RunTCP executes the algorithm over real loopback TCP sockets: every
+// rank is a goroutine with its own listener, every ordered rank pair has
+// a dedicated connection, and messages travel through the wire codec.
+// Inter-node connections are tapped by a WireSniffer so tests can verify
+// — at the byte level an eavesdropper sees — that only ciphertext leaves
+// a node.
+func RunTCP(spec Spec, msgSize int64, algo Algorithm) (*TCPResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	slr, err := seal.NewRandomSealer()
+	if err != nil {
+		return nil, err
+	}
+	slr.EnableNonceAudit()
+	e := &tcpEngine{
+		spec:    spec,
+		slr:     slr,
+		conns:   make([][]net.Conn, spec.P),
+		boxes:   make([]chan envelope, spec.P),
+		pend:    make([][][]block.Message, spec.P),
+		shm:     make([]*realShm, spec.N),
+		bars:    make([]*realBarrier, spec.N),
+		audit:   &SecurityAudit{},
+		sniffer: &WireSniffer{},
+		aborted: make(chan struct{}),
+	}
+	for r := 0; r < spec.P; r++ {
+		e.conns[r] = make([]net.Conn, spec.P)
+		e.boxes[r] = make(chan envelope, 2*spec.P+16)
+		e.pend[r] = make([][]block.Message, spec.P)
+	}
+	for n := 0; n < spec.N; n++ {
+		e.shm[n] = &realShm{m: make(map[string]block.Message)}
+		e.bars[n] = newRealBarrier(spec.Ell())
+	}
+
+	// One listener per rank.
+	listeners := make([]net.Listener, spec.P)
+	for r := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: tcp listen: %w", err)
+		}
+		listeners[r] = l
+		defer l.Close()
+	}
+
+	// Accept side: rank d accepts p-1 connections; each identifies its
+	// dialer via a hello frame and gets a reader goroutine feeding d's
+	// inbox.
+	var acceptWG sync.WaitGroup
+	acceptErr := make(chan error, spec.P)
+	for d := 0; d < spec.P; d++ {
+		d := d
+		acceptWG.Add(1)
+		go func() {
+			defer acceptWG.Done()
+			for k := 0; k < spec.P-1; k++ {
+				conn, err := listeners[d].Accept()
+				if err != nil {
+					acceptErr <- err
+					return
+				}
+				src, err := wire.ReadHello(conn)
+				if err != nil || src < 0 || src >= spec.P {
+					acceptErr <- fmt.Errorf("cluster: bad hello: %v", err)
+					return
+				}
+				e.readersWG.Add(1)
+				go func() {
+					defer e.readersWG.Done()
+					for {
+						s, msg, err := wire.ReadMessage(conn)
+						if err != nil {
+							return // closed (normal teardown or abort)
+						}
+						if s != src {
+							return
+						}
+						select {
+						case e.boxes[d] <- envelope{src: src, msg: msg}:
+						case <-e.aborted:
+							return
+						}
+					}
+				}()
+			}
+		}()
+	}
+
+	// Dial side: rank s dials every other rank; inter-node connections
+	// are wrapped by the sniffer.
+	for s := 0; s < spec.P; s++ {
+		for d := 0; d < spec.P; d++ {
+			if s == d {
+				continue
+			}
+			conn, err := net.Dial("tcp", listeners[d].Addr().String())
+			if err != nil {
+				e.abort()
+				return nil, fmt.Errorf("cluster: tcp dial %d->%d: %w", s, d, err)
+			}
+			if err := wire.WriteHello(conn, s); err != nil {
+				e.abort()
+				return nil, fmt.Errorf("cluster: tcp hello %d->%d: %w", s, d, err)
+			}
+			if !spec.SameNode(s, d) {
+				e.conns[s][d] = &sniffConn{Conn: conn, sniffer: e.sniffer}
+			} else {
+				e.conns[s][d] = conn
+			}
+		}
+	}
+	acceptWG.Wait()
+	select {
+	case err := <-acceptErr:
+		e.abort()
+		return nil, err
+	default:
+	}
+
+	res := &TCPResult{Sniffer: e.sniffer}
+	res.Results = make([]block.Message, spec.P)
+	res.PerRank = make([]Metrics, spec.P)
+	res.Audit = e.audit
+	res.Sealer = slr
+	sizes := make([]int64, spec.P)
+	for r := range sizes {
+		sizes[r] = msgSize
+	}
+	errs := make(chan error, spec.P)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < spec.P; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					e.abort()
+					select {
+					case errs <- fmt.Errorf("cluster: rank %d: %v", r, rec):
+					default:
+					}
+				}
+			}()
+			p := &Proc{rank: r, spec: spec, met: &res.PerRank[r], eng: e, sizes: sizes}
+			mine := block.NewPlain(r, block.FillPattern(r, msgSize))
+			res.Results[r] = algo(p, mine)
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(RealTimeout):
+		e.abort()
+		return nil, fmt.Errorf("cluster: tcp run timed out after %v on %v", RealTimeout, spec)
+	}
+	res.Elapsed = time.Since(start)
+	e.abort() // tear down connections; idempotent
+	e.readersWG.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	res.Critical = CriticalPath(res.PerRank)
+	return res, nil
+}

@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"fmt"
+
+	"encag/internal/block"
+	"encag/internal/seal"
+)
+
+// Request is a handle for a non-blocking operation, completed by Wait.
+type Request interface{ isRequest() }
+
+// engine abstracts the execution backend (real goroutines or discrete-
+// event simulation) behind the rank-level API.
+type engine interface {
+	isend(p *Proc, dst int, msg block.Message) Request
+	irecv(p *Proc, src int) Request
+	wait(p *Proc, reqs []Request) []block.Message
+
+	chargeEncrypt(p *Proc, n int64)
+	chargeDecrypt(p *Proc, n int64)
+	chargeCopy(p *Proc, n int64)
+
+	shmPut(p *Proc, key string, msg block.Message)
+	shmGet(p *Proc, key string) (block.Message, bool)
+	nodeBarrier(p *Proc)
+
+	sealer() *seal.Sealer // nil in sim mode
+}
+
+// Proc is the per-rank handle the algorithms program against — the moral
+// equivalent of an MPI communicator plus rank.
+type Proc struct {
+	rank      int
+	spec      Spec
+	met       *Metrics
+	eng       engine
+	sizes     []int64 // per-rank contribution sizes (all-gatherv semantics)
+	plainMode bool
+}
+
+// BlockSize returns the contribution length of a rank. Like
+// MPI_Allgatherv's recvcounts argument, the sizes of all ranks are known
+// everywhere.
+func (p *Proc) BlockSize(rank int) int64 { return p.sizes[rank] }
+
+// MaxBlockSize returns the largest contribution among the given ranks
+// (all ranks when none are given) — the value size-dispatching
+// collectives key on, so every rank picks the same algorithm.
+func (p *Proc) MaxBlockSize(ranks ...int) int64 {
+	var max int64
+	if len(ranks) == 0 {
+		for _, s := range p.sizes {
+			if s > max {
+				max = s
+			}
+		}
+		return max
+	}
+	for _, r := range ranks {
+		if s := p.sizes[r]; s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// SetPlaintextMode turns Encrypt/Decrypt into free no-ops, so running an
+// encrypted algorithm yields its *unencrypted counterpart* — the curves
+// the paper plots in Figures 5 and 6. Plain wraps an algorithm with it.
+func (p *Proc) SetPlaintextMode(on bool) { p.plainMode = on }
+
+// Plain derives the unencrypted counterpart of an encrypted algorithm:
+// identical communication structure, no cryptography.
+func Plain(alg Algorithm) Algorithm {
+	return func(p *Proc, mine block.Message) block.Message {
+		p.SetPlaintextMode(true)
+		return alg(p, mine)
+	}
+}
+
+// Rank returns this process's rank in [0, P).
+func (p *Proc) Rank() int { return p.rank }
+
+// Spec returns the world layout.
+func (p *Proc) Spec() Spec { return p.spec }
+
+// P returns the number of ranks.
+func (p *Proc) P() int { return p.spec.P }
+
+// N returns the number of nodes.
+func (p *Proc) N() int { return p.spec.N }
+
+// Ell returns ranks per node.
+func (p *Proc) Ell() int { return p.spec.Ell() }
+
+// Node returns the node hosting this rank.
+func (p *Proc) Node() int { return p.spec.NodeOf(p.rank) }
+
+// SameNode reports whether ranks a and b share a node.
+func (p *Proc) SameNode(a, b int) bool { return p.spec.SameNode(a, b) }
+
+// Leader returns the leader rank of this rank's node.
+func (p *Proc) Leader() int { return p.spec.Leader(p.Node()) }
+
+// IsLeader reports whether this rank leads its node.
+func (p *Proc) IsLeader() bool { return p.rank == p.Leader() }
+
+// Metrics returns this rank's cost counters.
+func (p *Proc) Metrics() *Metrics { return p.met }
+
+// Isend starts a non-blocking send of msg to dst. Byte counters are
+// charged immediately; the communication round is charged by the Wait
+// that completes the operation.
+func (p *Proc) Isend(dst int, msg block.Message) Request {
+	if dst == p.rank {
+		panic(fmt.Sprintf("cluster: rank %d sending to itself", p.rank))
+	}
+	n := msg.WireLen()
+	p.met.BytesSent += n
+	if p.SameNode(p.rank, dst) {
+		p.met.IntraBytesSent += n
+	} else {
+		p.met.InterBytesSent += n
+	}
+	return p.eng.isend(p, dst, msg)
+}
+
+// Irecv starts a non-blocking receive from src.
+func (p *Proc) Irecv(src int) Request {
+	if src == p.rank {
+		panic(fmt.Sprintf("cluster: rank %d receiving from itself", p.rank))
+	}
+	return p.eng.irecv(p, src)
+}
+
+// Wait completes the given requests and counts one communication round.
+// The returned slice is aligned with reqs; entries for sends are empty
+// messages, entries for receives hold the received message.
+func (p *Proc) Wait(reqs ...Request) []block.Message {
+	if len(reqs) == 0 {
+		return nil
+	}
+	p.met.CommRounds++
+	msgs := p.eng.wait(p, reqs)
+	for _, m := range msgs {
+		p.met.BytesRecv += m.WireLen()
+	}
+	return msgs
+}
+
+// Send is a blocking send (Isend+Wait): one communication round.
+func (p *Proc) Send(dst int, msg block.Message) {
+	p.Wait(p.Isend(dst, msg))
+}
+
+// Recv is a blocking receive (Irecv+Wait): one communication round.
+func (p *Proc) Recv(src int) block.Message {
+	return p.Wait(p.Irecv(src))[0]
+}
+
+// SendRecv sends out to dst while receiving from src; the two transfers
+// overlap and together count as one communication round, like
+// MPI_Sendrecv.
+func (p *Proc) SendRecv(dst int, out block.Message, src int) block.Message {
+	s := p.Isend(dst, out)
+	r := p.Irecv(src)
+	msgs := p.Wait(s, r)
+	return msgs[1]
+}
+
+// Encrypt seals the given plaintext chunks into a single ciphertext chunk
+// (one GCM call: one encryption round covering their total plaintext
+// bytes). All input chunks must be plaintext.
+func (p *Proc) Encrypt(chunks ...block.Chunk) block.Chunk {
+	var blocks []block.Block
+	var plainLen int64
+	for _, c := range chunks {
+		if c.Enc {
+			panic("cluster: Encrypt given an already-encrypted chunk")
+		}
+		blocks = append(blocks, c.Blocks...)
+		plainLen += c.PlainLen()
+	}
+	if p.plainMode {
+		// Unencrypted-counterpart mode: merge without sealing or cost.
+		out := block.Chunk{Blocks: blocks}
+		if len(chunks) > 0 {
+			out.Tag = chunks[0].Tag
+		}
+		if p.eng.sealer() != nil {
+			pt := make([]byte, 0, plainLen)
+			for _, c := range chunks {
+				pt = append(pt, c.Payload...)
+			}
+			out.Payload = pt
+		}
+		return out
+	}
+	p.met.EncRounds++
+	p.met.EncBytes += plainLen
+	p.eng.chargeEncrypt(p, plainLen)
+	out := block.Chunk{Enc: true, Blocks: blocks}
+	if s := p.eng.sealer(); s != nil {
+		pt := make([]byte, 0, plainLen)
+		for _, c := range chunks {
+			if c.Payload == nil {
+				panic("cluster: real-mode Encrypt given a chunk without payload")
+			}
+			pt = append(pt, c.Payload...)
+		}
+		blob, err := s.Seal(pt, block.EncodeHeader(blocks))
+		if err != nil {
+			panic(fmt.Sprintf("cluster: seal failed: %v", err))
+		}
+		out.Payload = blob
+	}
+	return out
+}
+
+// Decrypt opens one ciphertext chunk (one GCM call: one decryption round
+// covering its plaintext bytes) and returns the plaintext chunk.
+func (p *Proc) Decrypt(c block.Chunk) block.Chunk {
+	if !c.Enc {
+		panic("cluster: Decrypt given a plaintext chunk")
+	}
+	n := c.PlainLen()
+	p.met.DecRounds++
+	p.met.DecBytes += n
+	p.eng.chargeDecrypt(p, n)
+	out := block.Chunk{Blocks: append([]block.Block(nil), c.Blocks...)}
+	if s := p.eng.sealer(); s != nil {
+		if c.Payload == nil {
+			panic("cluster: real-mode Decrypt given a chunk without payload")
+		}
+		pt, err := s.Open(c.Payload, block.EncodeHeader(c.Blocks))
+		if err != nil {
+			panic(fmt.Sprintf("cluster: open failed at rank %d: %v", p.rank, err))
+		}
+		out.Payload = pt
+	}
+	return out
+}
+
+// DecryptAll decrypts every encrypted chunk of msg in place order and
+// returns the fully-plaintext message. Plaintext chunks pass through.
+func (p *Proc) DecryptAll(msg block.Message) block.Message {
+	out := block.Message{Chunks: make([]block.Chunk, 0, len(msg.Chunks))}
+	for _, c := range msg.Chunks {
+		if c.Enc {
+			out.Append(p.Decrypt(c))
+		} else {
+			out.Append(c)
+		}
+	}
+	return out
+}
+
+// CopyCharge accounts one local memory copy of n bytes (e.g. staging
+// through a shared-memory buffer, or the p re-order copies HS algorithms
+// need under non-block mappings).
+func (p *Proc) CopyCharge(n int64) {
+	p.met.Copies++
+	p.met.CopyBytes += n
+	p.eng.chargeCopy(p, n)
+}
+
+// ShmPut publishes msg under key in this node's shared-memory segment.
+// Synchronize with NodeBarrier before readers call ShmGet.
+func (p *Proc) ShmPut(key string, msg block.Message) {
+	p.eng.shmPut(p, key, msg)
+}
+
+// ShmGet reads a message published on this node's segment. It panics if
+// the key is absent — a missing barrier is an algorithm bug.
+func (p *Proc) ShmGet(key string) block.Message {
+	msg, ok := p.eng.shmGet(p, key)
+	if !ok {
+		panic(fmt.Sprintf("cluster: rank %d: shm key %q not present (missing NodeBarrier?)", p.rank, key))
+	}
+	return msg
+}
+
+// NodeBarrier blocks until every rank of this node has arrived.
+func (p *Proc) NodeBarrier() {
+	p.eng.nodeBarrier(p)
+}
+
+// Real reports whether this run carries real payload bytes.
+func (p *Proc) Real() bool { return p.eng.sealer() != nil }

@@ -1,0 +1,174 @@
+// Package cluster implements the MPI-like runtime the all-gather
+// algorithms run on: a World of p ranks spread over N nodes under a
+// block, cyclic or custom process mapping, with point-to-point messaging,
+// per-node shared memory, node barriers, AES-GCM encryption hooks and
+// per-rank cost metrics.
+//
+// Three engines execute the same algorithm code:
+//
+//   - the real engine (RunReal) runs every rank as a goroutine with
+//     channel transport and real AES-GCM over real payload bytes — used
+//     for correctness, property and security tests;
+//   - the sim engine (RunSim) runs ranks as deterministic discrete-event
+//     processes over the flow-level network model in internal/netsim —
+//     used to regenerate the paper's tables and figures at full scale;
+//   - the TCP engine (RunTCP) runs over real loopback sockets through
+//     the wire codec, with a byte-level sniffer on inter-node
+//     connections — used to demonstrate the security property at the
+//     level an actual network eavesdropper sees.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MappingKind selects how ranks are placed on nodes.
+type MappingKind int
+
+const (
+	// BlockMapping places rank i on node i/l (consecutive ranks share a
+	// node). This is MPI's "block" order.
+	BlockMapping MappingKind = iota
+	// CyclicMapping places rank i on node i mod N.
+	CyclicMapping
+	// CustomMapping uses an explicit rank->node table.
+	CustomMapping
+)
+
+func (k MappingKind) String() string {
+	switch k {
+	case BlockMapping:
+		return "block"
+	case CyclicMapping:
+		return "cyclic"
+	case CustomMapping:
+		return "custom"
+	}
+	return fmt.Sprintf("MappingKind(%d)", int(k))
+}
+
+// Spec describes a job: p ranks over N nodes under a mapping. The paper
+// (and our algorithms) assume a balanced placement: every node hosts
+// exactly l = p/N ranks.
+type Spec struct {
+	P       int
+	N       int
+	Mapping MappingKind
+	Custom  []int // node of each rank, used when Mapping == CustomMapping
+}
+
+// Validate checks that the spec is well-formed and balanced.
+func (s Spec) Validate() error {
+	if s.P <= 0 {
+		return fmt.Errorf("cluster: P must be positive, got %d", s.P)
+	}
+	if s.N <= 0 {
+		return fmt.Errorf("cluster: N must be positive, got %d", s.N)
+	}
+	if s.P%s.N != 0 {
+		return fmt.Errorf("cluster: P=%d is not a multiple of N=%d (the paper assumes balanced placement)", s.P, s.N)
+	}
+	if s.Mapping == CustomMapping {
+		if len(s.Custom) != s.P {
+			return fmt.Errorf("cluster: custom mapping has %d entries, want %d", len(s.Custom), s.P)
+		}
+		counts := make([]int, s.N)
+		for r, node := range s.Custom {
+			if node < 0 || node >= s.N {
+				return fmt.Errorf("cluster: custom mapping rank %d -> node %d out of range", r, node)
+			}
+			counts[node]++
+		}
+		l := s.P / s.N
+		for node, c := range counts {
+			if c != l {
+				return fmt.Errorf("cluster: custom mapping is unbalanced: node %d has %d ranks, want %d", node, c, l)
+			}
+		}
+	}
+	return nil
+}
+
+// Ell returns l = p/N, the ranks per node.
+func (s Spec) Ell() int { return s.P / s.N }
+
+// NodeOf returns the node hosting a rank.
+func (s Spec) NodeOf(rank int) int {
+	switch s.Mapping {
+	case BlockMapping:
+		return rank / s.Ell()
+	case CyclicMapping:
+		return rank % s.N
+	default:
+		return s.Custom[rank]
+	}
+}
+
+// SameNode reports whether two ranks share a node.
+func (s Spec) SameNode(a, b int) bool { return s.NodeOf(a) == s.NodeOf(b) }
+
+// RanksOnNode returns the ranks hosted by a node, in increasing order.
+func (s Spec) RanksOnNode(node int) []int {
+	var out []int
+	switch s.Mapping {
+	case BlockMapping:
+		l := s.Ell()
+		for r := node * l; r < (node+1)*l; r++ {
+			out = append(out, r)
+		}
+	case CyclicMapping:
+		for r := node; r < s.P; r += s.N {
+			out = append(out, r)
+		}
+	default:
+		for r, n := range s.Custom {
+			if n == node {
+				out = append(out, r)
+			}
+		}
+		sort.Ints(out)
+	}
+	return out
+}
+
+// LocalIndex returns the position of rank among the ranks of its node
+// (0..l-1, in increasing rank order).
+func (s Spec) LocalIndex(rank int) int {
+	node := s.NodeOf(rank)
+	idx := 0
+	for _, r := range s.RanksOnNode(node) {
+		if r == rank {
+			return idx
+		}
+		idx++
+	}
+	panic(fmt.Sprintf("cluster: rank %d not found on its own node %d", rank, node))
+}
+
+// Leader returns the leader rank of a node: its lowest rank.
+func (s Spec) Leader(node int) int { return s.RanksOnNode(node)[0] }
+
+// Leaders returns the leader rank of every node.
+func (s Spec) Leaders() []int {
+	out := make([]int, s.N)
+	for n := range out {
+		out[n] = s.Leader(n)
+	}
+	return out
+}
+
+// RankOrdered returns all p ranks sorted by (node, rank): the
+// "rank-ordered" traversal of Kandalla et al. used by the rank-ordered
+// ring so that intra-node neighbours are adjacent regardless of mapping.
+func (s Spec) RankOrdered() []int {
+	out := make([]int, 0, s.P)
+	for node := 0; node < s.N; node++ {
+		out = append(out, s.RanksOnNode(node)...)
+	}
+	return out
+}
+
+func (s Spec) String() string {
+	return fmt.Sprintf("p=%d N=%d l=%d %s", s.P, s.N, s.Ell(), s.Mapping)
+}

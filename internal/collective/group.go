@@ -1,0 +1,113 @@
+// Package collective implements the classic unencrypted all-gather
+// algorithms the paper builds on (Section III): Ring and its rank-ordered
+// variant, Recursive Doubling for any group size, Bruck, binomial
+// gather/broadcast, the Hierarchical (leader-based) all-gather, and an
+// MVAPICH-style size dispatcher (RD for small messages, Ring for large).
+//
+// Algorithms operate on a Group — an ordered set of world ranks, the
+// moral equivalent of an MPI communicator — and move whole contributions
+// (block.Message values). A contribution may be compound (several chunks,
+// e.g. one ciphertext per node in the HS leader exchange); chunk tags
+// keep track of which member contributed what, exactly like receive
+// displacements do in a real MPI implementation.
+package collective
+
+import (
+	"fmt"
+	"sort"
+
+	"encag/internal/block"
+	"encag/internal/cluster"
+)
+
+// Group is an ordered set of world ranks.
+type Group struct {
+	Ranks []int
+}
+
+// World returns the group of all p ranks in rank order.
+func World(p int) Group {
+	g := Group{Ranks: make([]int, p)}
+	for i := range g.Ranks {
+		g.Ranks[i] = i
+	}
+	return g
+}
+
+// Size returns the number of members.
+func (g Group) Size() int { return len(g.Ranks) }
+
+// Index returns the position of a world rank in the group, or -1.
+func (g Group) Index(rank int) int {
+	for i, r := range g.Ranks {
+		if r == rank {
+			return i
+		}
+	}
+	return -1
+}
+
+// Allgather is a group-level all-gather: every member contributes mine
+// and receives the contribution of every member, indexed by group
+// position.
+type Allgather func(p *cluster.Proc, g Group, mine block.Message) []block.Message
+
+// tagged clones msg with every chunk tagged as contribution of member idx.
+func tagged(msg block.Message, idx int) block.Message {
+	out := msg.Clone()
+	for i := range out.Chunks {
+		out.Chunks[i].Tag = idx
+	}
+	return out
+}
+
+// mergeByTag splits msg's chunks by their contribution tag and appends
+// them (preserving order) into held.
+func mergeByTag(held map[int]block.Message, msg block.Message) {
+	for _, c := range msg.Chunks {
+		m := held[c.Tag]
+		m.Append(c)
+		held[c.Tag] = m
+	}
+}
+
+// concatHeld concatenates held contributions in ascending member order.
+func concatHeld(held map[int]block.Message) block.Message {
+	keys := make([]int, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var out block.Message
+	for _, k := range keys {
+		out = block.Concat(out, held[k])
+	}
+	return out
+}
+
+// collectHeld converts the held map into the per-member result slice,
+// verifying completeness.
+func collectHeld(held map[int]block.Message, n int) []block.Message {
+	out := make([]block.Message, n)
+	for i := 0; i < n; i++ {
+		m, ok := held[i]
+		if !ok {
+			panic(fmt.Sprintf("collective: contribution of member %d missing at end of all-gather", i))
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// AsAlgorithm adapts a group all-gather over the world group into a
+// cluster.Algorithm whose result lists all contributions in rank order.
+func AsAlgorithm(ag Allgather) cluster.Algorithm {
+	return func(p *cluster.Proc, mine block.Message) block.Message {
+		parts := ag(p, World(p.P()), mine)
+		var out block.Message
+		for _, part := range parts {
+			out = block.Concat(out, part)
+		}
+		return out
+	}
+}

@@ -1,0 +1,92 @@
+package collective
+
+import (
+	"fmt"
+
+	"encag/internal/block"
+	"encag/internal/cluster"
+)
+
+// NeighborExchange is the neighbor-exchange all-gather (Chen and Yuan;
+// also in Open MPI): for an even group size it completes in n/2 rounds —
+// half as many as the ring — by pairing adjacent members and alternating
+// pair boundaries, each member forwarding the two contributions it
+// received in the previous round. Odd group sizes fall back to the ring.
+//
+// Per-member volume is the ring's (n-1)m, but the round count makes it
+// attractive for medium sizes on latency-bound fabrics; it is included
+// as one more production baseline beyond the paper's set.
+func NeighborExchange(p *cluster.Proc, g Group, mine block.Message) []block.Message {
+	n := g.Size()
+	if n%2 == 1 {
+		return Ring(p, g, mine)
+	}
+	i := g.Index(p.Rank())
+	if i < 0 {
+		panic(fmt.Sprintf("collective: rank %d not in group", p.Rank()))
+	}
+	held := map[int]block.Message{i: tagged(mine, i)}
+	if n == 1 {
+		return collectHeld(held, n)
+	}
+	right := g.Ranks[(i+1)%n]
+	left := g.Ranks[(i-1+n)%n]
+	// Even members start by exchanging with their right neighbor, odd
+	// members with their left; afterwards the pairing alternates.
+	first, second := right, left
+	if i%2 == 1 {
+		first, second = left, right
+	}
+
+	// Round 1: exchange own contributions.
+	in := p.SendRecv(first, held[i], first)
+	mergeByTag(held, in)
+	lastRecv := []int{i}
+	for _, c := range in.Chunks {
+		lastRecv = appendUnique(lastRecv, c.Tag)
+	}
+
+	for s := 2; s <= n/2; s++ {
+		partner := second
+		if s%2 == 1 {
+			partner = first
+		}
+		var out block.Message
+		for _, tag := range lastRecv {
+			out = block.Concat(out, held[tag])
+		}
+		in := p.SendRecv(partner, out, partner)
+		incoming := make(map[int]block.Message)
+		mergeByTag(incoming, in)
+		lastRecv = lastRecv[:0]
+		for tag, msg := range incoming {
+			if _, dup := held[tag]; dup {
+				panic(fmt.Sprintf("collective: neighbor exchange received duplicate contribution %d at step %d", tag, s))
+			}
+			held[tag] = msg
+		}
+		// Deterministic order for the next round's send.
+		for tag := range incoming {
+			lastRecv = appendUnique(lastRecv, tag)
+		}
+		sortInts(lastRecv)
+	}
+	return collectHeld(held, n)
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinProfilesValid(t *testing.T) {
+	for name, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("profile map key %q != Name %q", name, p.Name)
+		}
+	}
+}
+
+func TestValidateCatchesZero(t *testing.T) {
+	p := Noleland()
+	p.EncBW = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted zero EncBW")
+	}
+	p = Noleland()
+	p.AlphaInter = math.NaN()
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted NaN AlphaInter")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("noleland"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("does-not-exist"); err == nil {
+		t.Fatal("expected error for unknown profile")
+	}
+}
+
+// Figure 1 calibration: on Noleland, ping-pong throughput must be roughly
+// twice the encryption throughput at large sizes, encryption must saturate
+// near 5.5 GB/s, and ping-pong near 11 GB/s.
+func TestFigure1Calibration(t *testing.T) {
+	p := Noleland()
+	const twoMB = 2 << 20
+	pp := p.PingPongThroughput(twoMB)
+	enc := p.EncryptThroughput(twoMB)
+	if pp < 10e9 || pp > 12.5e9 {
+		t.Errorf("ping-pong @2MB = %.2f GB/s, want ~11", pp/1e9)
+	}
+	if enc < 5e9 || enc > 6e9 {
+		t.Errorf("encryption @2MB = %.2f GB/s, want ~5.5", enc/1e9)
+	}
+	if ratio := pp / enc; ratio < 1.7 || ratio > 2.4 {
+		t.Errorf("ping-pong/encryption ratio @2MB = %.2f, want ~2 (paper Fig. 1)", ratio)
+	}
+	// Both curves must be increasing in message size (startup-dominated at
+	// small sizes).
+	sizes := []int64{1, 256, 1 << 10, 4 << 10, 64 << 10, 512 << 10, 2 << 20}
+	for i := 1; i < len(sizes); i++ {
+		if p.PingPongThroughput(sizes[i]) <= p.PingPongThroughput(sizes[i-1]) {
+			t.Errorf("ping-pong throughput not increasing at %d", sizes[i])
+		}
+		if p.EncryptThroughput(sizes[i]) <= p.EncryptThroughput(sizes[i-1]) {
+			t.Errorf("encryption throughput not increasing at %d", sizes[i])
+		}
+	}
+}
+
+func TestCostHelpers(t *testing.T) {
+	p := Noleland()
+	if got := p.EncryptTime(0); got != p.AlphaEnc {
+		t.Errorf("EncryptTime(0) = %g, want alpha %g", got, p.AlphaEnc)
+	}
+	want := p.AlphaEnc + 1e6/p.EncBW
+	if got := p.EncryptTime(1e6); math.Abs(got-want) > 1e-15 {
+		t.Errorf("EncryptTime(1e6) = %g, want %g", got, want)
+	}
+	if p.DecryptTime(100) <= p.DecryptTime(0) {
+		t.Error("DecryptTime not increasing")
+	}
+	if p.CopyTime(1<<20) <= p.CopyTime(10) {
+		t.Error("CopyTime not increasing")
+	}
+}
+
+// Property: throughput never exceeds the configured bandwidths and both
+// cost functions are monotonically nondecreasing in size.
+func TestQuickThroughputBounded(t *testing.T) {
+	p := Noleland()
+	f := func(a, b uint32) bool {
+		m1, m2 := int64(a%(4<<20))+1, int64(b%(4<<20))+1
+		if m1 > m2 {
+			m1, m2 = m2, m1
+		}
+		if p.PingPongThroughput(m2) > math.Min(p.CoreBW, p.NICTx)+1 {
+			return false
+		}
+		if p.EncryptThroughput(m2) > p.EncBW+1 {
+			return false
+		}
+		return p.EncryptTime(m1) <= p.EncryptTime(m2) &&
+			p.DecryptTime(m1) <= p.DecryptTime(m2) &&
+			p.CopyTime(m1) <= p.CopyTime(m2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierTime(t *testing.T) {
+	p := Noleland()
+	if got := p.BarrierTime(1); got != 0 {
+		t.Errorf("BarrierTime(1) = %g, want 0", got)
+	}
+	if got := p.BarrierTime(2); got != p.AlphaBarrier {
+		t.Errorf("BarrierTime(2) = %g, want one stage", got)
+	}
+	if got := p.BarrierTime(16); got != 4*p.AlphaBarrier {
+		t.Errorf("BarrierTime(16) = %g, want 4 stages", got)
+	}
+	if got := p.BarrierTime(17); got != 5*p.AlphaBarrier {
+		t.Errorf("BarrierTime(17) = %g, want 5 stages (ceil)", got)
+	}
+}
+
+func TestValidateBarrierAlpha(t *testing.T) {
+	p := Noleland()
+	p.AlphaBarrier = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative AlphaBarrier accepted")
+	}
+	p.AlphaBarrier = 0 // zero is allowed: free barriers
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughputZeroSize(t *testing.T) {
+	p := Noleland()
+	if p.PingPongThroughput(0) != 0 || p.EncryptThroughput(0) != 0 {
+		t.Fatal("zero-size throughput should be 0")
+	}
+}

@@ -1,0 +1,37 @@
+package encrypted
+
+import (
+	"encag/internal/block"
+	"encag/internal/cluster"
+)
+
+// Auto thresholds (bytes), calibrated from the reproduction's Tables
+// III/IV: round-frugal O-RD2 below SmallThreshold, the concurrent C-RD
+// in the middle band, HS2 from LargeThreshold up. All three are
+// mapping-robust choices in both the paper's and our measurements.
+const (
+	AutoSmallThreshold = 1 << 10  // 1KB
+	AutoLargeThreshold = 16 << 10 // 16KB
+)
+
+// Auto returns a size-dispatching encrypted all-gather, the counterpart
+// of production MPI libraries' internal algorithm selection: callers who
+// do not want to study Table II just ask for "auto". Dispatch keys on
+// the globally-known maximum block size, so all ranks agree even for
+// all-gatherv.
+func Auto() cluster.Algorithm {
+	small := asWorld(ORD2)
+	medium := CRD()
+	large := HS2()
+	return func(p *cluster.Proc, mine block.Message) block.Message {
+		m := p.MaxBlockSize()
+		switch {
+		case m < AutoSmallThreshold:
+			return small(p, mine)
+		case m < AutoLargeThreshold:
+			return medium(p, mine)
+		default:
+			return large(p, mine)
+		}
+	}
+}

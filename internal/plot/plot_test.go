@@ -1,0 +1,83 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, title string, series []Series, o Options) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Render(&buf, title, series, o); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRenderBasic(t *testing.T) {
+	out := render(t, "demo", []Series{
+		{Name: "up", X: []float64{1, 2, 3, 4}, Y: []float64{1, 2, 3, 4}},
+		{Name: "down", X: []float64{1, 2, 3, 4}, Y: []float64{4, 3, 2, 1}},
+	}, Options{Width: 40, Height: 10, XLabel: "size", YLabel: "latency"})
+	for _, want := range []string{"demo", "*=up", "o=down", "x: size  y: latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + x axis + labels + legend
+	if len(lines) != 1+10+1+1+1 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	// Rising series: '*' appears in the top row (max Y) and bottom row.
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("top row missing rising series max:\n%s", out)
+	}
+	if !strings.Contains(lines[10], "*") {
+		t.Errorf("bottom row missing rising series min:\n%s", out)
+	}
+}
+
+func TestRenderLogScales(t *testing.T) {
+	out := render(t, "loglog", []Series{
+		{Name: "lat", X: []float64{1, 1024, 1 << 20}, Y: []float64{10, 1000, 100000}},
+	}, Options{Width: 60, Height: 12, LogX: true, LogY: true})
+	if !strings.Contains(out, "1.05M") { // x axis right end = 2^20 bytes
+		t.Errorf("log x axis label missing:\n%s", out)
+	}
+	if !strings.Contains(out, "100k") {
+		t.Errorf("log y axis label missing:\n%s", out)
+	}
+}
+
+func TestRenderEdgeCases(t *testing.T) {
+	// No series.
+	var buf bytes.Buffer
+	if err := Render(&buf, "t", nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no series") {
+		t.Fatal("empty render should say so")
+	}
+	// Single point (degenerate ranges).
+	out := render(t, "pt", []Series{{Name: "p", X: []float64{5}, Y: []float64{7}}}, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+	// Mismatched lengths rejected.
+	if err := Render(&buf, "t", []Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}, Options{}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	// Too many series rejected.
+	many := make([]Series, 9)
+	for i := range many {
+		many[i] = Series{Name: "s", X: []float64{1}, Y: []float64{1}}
+	}
+	if err := Render(&buf, "t", many, Options{}); err == nil {
+		t.Fatal("9 series accepted")
+	}
+	// Non-positive values on log axes must not panic.
+	_ = render(t, "z", []Series{{Name: "z", X: []float64{0, 1}, Y: []float64{-1, 1}}},
+		Options{LogX: true, LogY: true})
+}

@@ -1,0 +1,129 @@
+package seal
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultSealBudget is the default number of Seal calls allowed per key.
+// With random 96-bit nonces, NIST SP 800-38D bounds the collision
+// probability below 2^-32 as long as a key performs at most 2^32
+// encryptions; we default well under that.
+const DefaultSealBudget = 1 << 28
+
+// RotatingSealer wraps key management for long-lived jobs: it seals with
+// a current key and transparently generates a fresh key once the
+// per-key seal budget is exhausted, keeping a bounded window of old keys
+// so in-flight ciphertexts still open. Each blob is prefixed with a
+// 4-byte key epoch.
+//
+// This addresses the operational gap the paper leaves open (it assumes
+// one pre-shared key per job): a production deployment running millions
+// of collectives needs the nonce budget enforced mechanically. Epoch
+// distribution piggybacks on the blob itself; real deployments would
+// also re-run their key agreement, which is out of scope here as in the
+// paper.
+type RotatingSealer struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	epoch   uint32
+	keys    map[uint32]*Sealer
+	current *Sealer
+	window  int // how many past epochs stay openable
+}
+
+// NewRotatingSealer creates a RotatingSealer with the given per-key seal
+// budget (<= 0 selects DefaultSealBudget) keeping up to window past keys
+// (minimum 1).
+func NewRotatingSealer(budget int64, window int) (*RotatingSealer, error) {
+	if budget <= 0 {
+		budget = DefaultSealBudget
+	}
+	if window < 1 {
+		window = 1
+	}
+	first, err := NewRandomSealer()
+	if err != nil {
+		return nil, err
+	}
+	return &RotatingSealer{
+		budget:  budget,
+		keys:    map[uint32]*Sealer{0: first},
+		current: first,
+		window:  window,
+	}, nil
+}
+
+// Epoch returns the current key epoch.
+func (rs *RotatingSealer) Epoch() uint32 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.epoch
+}
+
+// rotateLocked installs a fresh key.
+func (rs *RotatingSealer) rotateLocked() error {
+	next, err := NewRandomSealer()
+	if err != nil {
+		return err
+	}
+	rs.epoch++
+	rs.used = 0
+	rs.current = next
+	rs.keys[rs.epoch] = next
+	for e := range rs.keys {
+		if e+uint32(rs.window) < rs.epoch {
+			delete(rs.keys, e)
+		}
+	}
+	return nil
+}
+
+// Seal encrypts under the current epoch, rotating first if the budget is
+// spent. The blob is epoch (4 bytes, big endian) || nonce || ct || tag.
+func (rs *RotatingSealer) Seal(plaintext, aad []byte) ([]byte, error) {
+	rs.mu.Lock()
+	if rs.used >= rs.budget {
+		if err := rs.rotateLocked(); err != nil {
+			rs.mu.Unlock()
+			return nil, err
+		}
+	}
+	rs.used++
+	epoch := rs.epoch
+	s := rs.current
+	rs.mu.Unlock()
+
+	inner, err := s.Seal(plaintext, aad)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 4+len(inner))
+	out[0] = byte(epoch >> 24)
+	out[1] = byte(epoch >> 16)
+	out[2] = byte(epoch >> 8)
+	out[3] = byte(epoch)
+	copy(out[4:], inner)
+	return out, nil
+}
+
+// Open authenticates and decrypts a blob sealed by Seal, accepting the
+// current epoch and up to window past epochs.
+func (rs *RotatingSealer) Open(blob, aad []byte) ([]byte, error) {
+	if len(blob) < 4+Overhead {
+		return nil, fmt.Errorf("seal: rotating blob too short: %d bytes", len(blob))
+	}
+	epoch := uint32(blob[0])<<24 | uint32(blob[1])<<16 | uint32(blob[2])<<8 | uint32(blob[3])
+	rs.mu.Lock()
+	s, ok := rs.keys[epoch]
+	rs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("seal: key epoch %d no longer available (current %d, window %d)", epoch, rs.Epoch(), rs.window)
+	}
+	return s.Open(blob[4:], aad)
+}
+
+// SealedLenRotating returns the sealed size of an n-byte plaintext under
+// a RotatingSealer (epoch prefix included).
+func SealedLenRotating(n int) int { return 4 + SealedLen(n) }

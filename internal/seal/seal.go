@@ -1,0 +1,156 @@
+// Package seal provides the AES-GCM encryption used by the encrypted
+// all-gather algorithms, mirroring the paper's use of AES-GCM-128 from
+// BoringSSL: a nonce-based AEAD where each sealed blob is
+//
+//	nonce (12 bytes) || ciphertext || tag (16 bytes)
+//
+// so a ciphertext is exactly Overhead = 28 bytes longer than its plaintext,
+// as the paper notes. Nonces are chosen uniformly at random (the paper:
+// "we pick nonces at random, which is standard-compliant").
+//
+// A Sealer also keeps an optional audit trail of nonces so tests can prove
+// nonce uniqueness across an entire all-gather operation.
+package seal
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+const (
+	// NonceSize is the GCM nonce length in bytes.
+	NonceSize = 12
+	// TagSize is the GCM authentication tag length in bytes.
+	TagSize = 16
+	// Overhead is the total ciphertext expansion: nonce plus tag.
+	Overhead = NonceSize + TagSize
+	// KeySize is the AES-128 key length.
+	KeySize = 16
+)
+
+// ErrAuth is returned when a sealed blob fails authentication.
+var ErrAuth = errors.New("seal: message authentication failed")
+
+// Sealer encrypts and decrypts with a single shared AES-GCM-128 key, the
+// deployment model of the paper (one key per MPI job, distributed out of
+// band). It is safe for concurrent use.
+type Sealer struct {
+	aead cipher.AEAD
+
+	mu     sync.Mutex
+	audit  bool
+	nonces map[[NonceSize]byte]struct{}
+	dup    bool
+	sealed int64 // number of Seal calls
+	opened int64 // number of successful Open calls
+}
+
+// NewSealer creates a Sealer from a 16-byte AES-128 key.
+func NewSealer(key []byte) (*Sealer, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("seal: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return &Sealer{aead: aead}, nil
+}
+
+// NewRandomSealer creates a Sealer with a fresh random key.
+func NewRandomSealer() (*Sealer, error) {
+	key := make([]byte, KeySize)
+	if _, err := rand.Read(key); err != nil {
+		return nil, err
+	}
+	return NewSealer(key)
+}
+
+// EnableNonceAudit starts recording every nonce used by Seal so that
+// DuplicateNonceSeen can later report reuse. Intended for tests.
+func (s *Sealer) EnableNonceAudit() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.audit = true
+	if s.nonces == nil {
+		s.nonces = make(map[[NonceSize]byte]struct{})
+	}
+}
+
+// DuplicateNonceSeen reports whether any nonce was used twice while the
+// audit was enabled.
+func (s *Sealer) DuplicateNonceSeen() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dup
+}
+
+// Counts returns the number of Seal calls and successful Open calls.
+func (s *Sealer) Counts() (sealed, opened int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sealed, s.opened
+}
+
+// Seal encrypts plaintext, binding aad (additional authenticated data,
+// e.g. the block-layout header). The result is nonce||ciphertext||tag.
+func (s *Sealer) Seal(plaintext, aad []byte) ([]byte, error) {
+	var nonce [NonceSize]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.sealed++
+	if s.audit {
+		if _, ok := s.nonces[nonce]; ok {
+			s.dup = true
+		}
+		s.nonces[nonce] = struct{}{}
+	}
+	s.mu.Unlock()
+	out := make([]byte, NonceSize, NonceSize+len(plaintext)+TagSize)
+	copy(out, nonce[:])
+	return s.aead.Seal(out, nonce[:], plaintext, aad), nil
+}
+
+// Open authenticates and decrypts a blob produced by Seal with the same
+// aad. It returns ErrAuth if the blob or aad has been tampered with.
+func (s *Sealer) Open(blob, aad []byte) ([]byte, error) {
+	if len(blob) < Overhead {
+		return nil, fmt.Errorf("seal: blob too short: %d bytes", len(blob))
+	}
+	nonce := blob[:NonceSize]
+	pt, err := s.aead.Open(nil, nonce, blob[NonceSize:], aad)
+	if err != nil {
+		return nil, ErrAuth
+	}
+	if pt == nil {
+		// Normalize the empty plaintext to a non-nil slice: callers use
+		// nil payloads to mean "simulation mode, no bytes".
+		pt = []byte{}
+	}
+	s.mu.Lock()
+	s.opened++
+	s.mu.Unlock()
+	return pt, nil
+}
+
+// SealedLen returns the sealed size of an n-byte plaintext.
+func SealedLen(n int) int { return n + Overhead }
+
+// PlainLen returns the plaintext size of an n-byte sealed blob, or -1 if
+// the blob is too short to be valid.
+func PlainLen(n int) int {
+	if n < Overhead {
+		return -1
+	}
+	return n - Overhead
+}

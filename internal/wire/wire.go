@@ -1,0 +1,203 @@
+// Package wire is the network serialization used by the TCP transport
+// engine: a length-delimited binary framing for block.Message values
+// (encoding/binary, big-endian), plus the hello frame that identifies a
+// connecting rank.
+//
+// Frame layout:
+//
+//	uint32 magic "EAGM"
+//	uint32 source rank
+//	uint32 chunk count
+//	per chunk:
+//	  uint8  flags (bit0: encrypted)
+//	  int32  tag
+//	  uint32 block count
+//	  per block: uint32 origin, uint64 length
+//	  uint32 payload length, payload bytes
+//
+// The codec is defensive: it never allocates more than MaxFrame bytes on
+// the say-so of an untrusted length field.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"encag/internal/block"
+)
+
+const (
+	magic = 0x4541474D // "EAGM"
+	// MaxFrame bounds a single message frame (1 GiB).
+	MaxFrame = 1 << 30
+	// maxCount bounds chunk/block counts per frame.
+	maxCount = 1 << 20
+)
+
+// WriteMessage encodes and writes one frame.
+func WriteMessage(w io.Writer, src int, msg block.Message) error {
+	bw := bufio.NewWriter(w)
+	if err := writeU32(bw, magic); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(src)); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(len(msg.Chunks))); err != nil {
+		return err
+	}
+	for _, c := range msg.Chunks {
+		var flags byte
+		if c.Enc {
+			flags |= 1
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		if err := writeU32(bw, uint32(int32(c.Tag))); err != nil {
+			return err
+		}
+		if err := writeU32(bw, uint32(len(c.Blocks))); err != nil {
+			return err
+		}
+		for _, b := range c.Blocks {
+			if err := writeU32(bw, uint32(b.Origin)); err != nil {
+				return err
+			}
+			if err := writeU64(bw, uint64(b.Len)); err != nil {
+				return err
+			}
+		}
+		if err := writeU32(bw, uint32(len(c.Payload))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(c.Payload); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMessage reads and decodes one frame.
+func ReadMessage(r io.Reader) (src int, msg block.Message, err error) {
+	var m uint32
+	if m, err = readU32(r); err != nil {
+		return 0, msg, err
+	}
+	if m != magic {
+		return 0, msg, fmt.Errorf("wire: bad magic %#x", m)
+	}
+	s, err := readU32(r)
+	if err != nil {
+		return 0, msg, err
+	}
+	src = int(s)
+	nChunks, err := readU32(r)
+	if err != nil {
+		return 0, msg, err
+	}
+	if nChunks > maxCount {
+		return 0, msg, fmt.Errorf("wire: %d chunks exceeds limit", nChunks)
+	}
+	var total uint64
+	msg.Chunks = make([]block.Chunk, 0, nChunks)
+	for i := uint32(0); i < nChunks; i++ {
+		var c block.Chunk
+		var flags [1]byte
+		if _, err := io.ReadFull(r, flags[:]); err != nil {
+			return 0, msg, err
+		}
+		c.Enc = flags[0]&1 != 0
+		tag, err := readU32(r)
+		if err != nil {
+			return 0, msg, err
+		}
+		c.Tag = int(int32(tag))
+		nBlocks, err := readU32(r)
+		if err != nil {
+			return 0, msg, err
+		}
+		if nBlocks > maxCount {
+			return 0, msg, fmt.Errorf("wire: %d blocks exceeds limit", nBlocks)
+		}
+		c.Blocks = make([]block.Block, nBlocks)
+		for j := range c.Blocks {
+			o, err := readU32(r)
+			if err != nil {
+				return 0, msg, err
+			}
+			l, err := readU64(r)
+			if err != nil {
+				return 0, msg, err
+			}
+			c.Blocks[j] = block.Block{Origin: int(o), Len: int64(l)}
+		}
+		plen, err := readU32(r)
+		if err != nil {
+			return 0, msg, err
+		}
+		total += uint64(plen)
+		if total > MaxFrame {
+			return 0, msg, fmt.Errorf("wire: frame exceeds %d bytes", MaxFrame)
+		}
+		c.Payload = make([]byte, plen)
+		if _, err := io.ReadFull(r, c.Payload); err != nil {
+			return 0, msg, err
+		}
+		msg.Chunks = append(msg.Chunks, c)
+	}
+	return src, msg, nil
+}
+
+// WriteHello identifies a dialing rank to the accepting side.
+func WriteHello(w io.Writer, rank int) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[0:], magic)
+	binary.BigEndian.PutUint32(buf[4:], uint32(rank))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// ReadHello reads the dialing rank.
+func ReadHello(r io.Reader) (int, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	if binary.BigEndian.Uint32(buf[0:]) != magic {
+		return 0, fmt.Errorf("wire: bad hello magic")
+	}
+	return int(binary.BigEndian.Uint32(buf[4:])), nil
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(buf[:]), nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(buf[:]), nil
+}

@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"encag/internal/block"
+)
+
+func roundTrip(t *testing.T, src int, msg block.Message) (int, block.Message) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, src, msg); err != nil {
+		t.Fatal(err)
+	}
+	gotSrc, got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gotSrc, got
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	msg := block.Message{Chunks: []block.Chunk{
+		{Blocks: []block.Block{{Origin: 0, Len: 5}}, Payload: []byte("hello"), Tag: 3},
+		{Enc: true, Blocks: []block.Block{{Origin: 1, Len: 2}, {Origin: 7, Len: 9}},
+			Payload: []byte{1, 2, 3, 4}, Tag: -1},
+		{Blocks: nil, Payload: []byte{}},
+	}}
+	src, got := roundTrip(t, 42, msg)
+	if src != 42 {
+		t.Fatalf("src = %d", src)
+	}
+	if len(got.Chunks) != 3 {
+		t.Fatalf("chunks = %d", len(got.Chunks))
+	}
+	if !got.Chunks[1].Enc || got.Chunks[1].Tag != -1 {
+		t.Fatalf("chunk 1 = %+v", got.Chunks[1])
+	}
+	if got.Chunks[1].Blocks[1] != (block.Block{Origin: 7, Len: 9}) {
+		t.Fatalf("block = %+v", got.Chunks[1].Blocks[1])
+	}
+	if !bytes.Equal(got.Chunks[0].Payload, []byte("hello")) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	src, got := roundTrip(t, 0, block.Message{})
+	if src != 0 || len(got.Chunks) != 0 {
+		t.Fatalf("empty round trip: src=%d chunks=%d", src, len(got.Chunks))
+	}
+}
+
+func TestHello(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf, 17); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadHello(&buf)
+	if err != nil || r != 17 {
+		t.Fatalf("hello = %d, %v", r, err)
+	}
+	if _, err := ReadHello(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("bad hello accepted")
+	}
+}
+
+func TestRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadMessage(bytes.NewReader([]byte{0, 1, 2, 3})); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	if _, _, err := ReadMessage(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("zero magic accepted")
+	}
+	// Absurd chunk count must be rejected before allocation.
+	var buf bytes.Buffer
+	_ = WriteMessage(&buf, 0, block.Message{})
+	raw := buf.Bytes()
+	raw[8], raw[9], raw[10], raw[11] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+		t.Fatal("absurd chunk count accepted")
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	msg := block.NewPlain(3, []byte("some payload data"))
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, 1, msg); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut += 5 {
+		if _, _, err := ReadMessage(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// Property: arbitrary messages survive the codec byte-exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(src uint16, tags []int16, payloads [][]byte, encs []bool) bool {
+		var msg block.Message
+		for i, pl := range payloads {
+			c := block.Chunk{Payload: pl}
+			if pl == nil {
+				c.Payload = []byte{}
+			}
+			if i < len(tags) {
+				c.Tag = int(tags[i])
+			}
+			if i < len(encs) {
+				c.Enc = encs[i]
+			}
+			c.Blocks = []block.Block{{Origin: i, Len: int64(len(c.Payload))}}
+			msg.Append(c)
+		}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, int(src), msg); err != nil {
+			return false
+		}
+		gotSrc, got, err := ReadMessage(&buf)
+		if err != nil || gotSrc != int(src) || len(got.Chunks) != len(msg.Chunks) {
+			return false
+		}
+		for i := range got.Chunks {
+			a, b := got.Chunks[i], msg.Chunks[i]
+			if a.Enc != b.Enc || a.Tag != b.Tag || !bytes.Equal(a.Payload, b.Payload) {
+				return false
+			}
+			if len(a.Blocks) != len(b.Blocks) {
+				return false
+			}
+			for j := range a.Blocks {
+				if a.Blocks[j] != b.Blocks[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzReadMessage: arbitrary bytes must never panic or over-allocate.
+func FuzzReadMessage(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteMessage(&buf, 3, block.NewPlain(0, []byte("seed")))
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = ReadMessage(bytes.NewReader(data))
+	})
+}
+
+// Streams of frames decode in order.
+func TestStreamOfFrames(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		if err := WriteMessage(&buf, i, block.NewPlain(i, []byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := io.Reader(&buf)
+	for i := 0; i < 10; i++ {
+		src, msg, err := ReadMessage(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src != i || msg.Chunks[0].Payload[0] != byte(i) {
+			t.Fatalf("frame %d decoded as src=%d", i, src)
+		}
+	}
+}
