@@ -7,6 +7,7 @@
 //	encag-bench                  # run every experiment
 //	encag-bench -exp table3      # one experiment (fig1, table1..6, fig5..8, ablation)
 //	encag-bench -exp fig7 -csv   # emit CSV instead of aligned text
+//	encag-bench -exp fig5 -jsonl # emit JSONL run summaries (one object per row)
 //	encag-bench -quick           # trimmed sizes for a fast smoke run
 //	encag-bench -list            # list experiment IDs
 package main
@@ -23,6 +24,7 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment ID to run (default: all)")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of text tables")
+	asJSONL := flag.Bool("jsonl", false, "emit JSONL structured summaries instead of text tables")
 	asPlot := flag.Bool("plot", false, "also render latency-vs-size tables as ASCII charts")
 	quick := flag.Bool("quick", false, "trim large sizes for a fast run")
 	outDir := flag.String("out", "", "also write each table as CSV into this directory")
@@ -61,7 +63,12 @@ func main() {
 			}
 		}
 		for _, t := range tables {
-			if *asCSV {
+			if *asJSONL {
+				if err := t.JSONL(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			} else if *asCSV {
 				if err := t.CSV(os.Stdout); err != nil {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)
@@ -81,7 +88,7 @@ func main() {
 				}
 			}
 		}
-		if !*asCSV {
+		if !*asCSV && !*asJSONL {
 			fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}

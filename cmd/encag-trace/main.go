@@ -1,24 +1,35 @@
-// Command encag-trace renders an activity timeline of one simulated
-// encrypted all-gather: an ASCII Gantt chart (one row per rank) plus the
-// time breakdown of the critical rank. It makes visible *why* an
-// algorithm wins — e.g. Naive's serial decryption tail versus HS2's
-// parallel joint decryption.
+// Command encag-trace renders an activity timeline of one encrypted
+// all-gather on any of the three engines: the discrete-event simulator
+// (predicted, virtual time), the real in-memory engine or the loopback
+// TCP engine (both measured, wall-clock time). It makes visible *why*
+// an algorithm wins — e.g. Naive's serial decryption tail versus HS2's
+// parallel joint decryption — and lets the model's predicted timeline
+// be laid next to a real run's measured one.
 //
-// Example:
+// Formats: "text" is the ASCII Gantt chart plus the critical rank's
+// breakdown; "chrome" is Chrome trace_event JSON, loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing with one track per
+// rank; "jsonl" is a one-line structured run summary (spec, algorithm,
+// the paper's six critical-path metrics, per-phase totals, wire
+// capture).
+//
+// Examples:
 //
 //	encag-trace -alg naive -p 16 -nodes 4 -size 64KB
-//	encag-trace -alg hs2   -p 16 -nodes 4 -size 64KB
+//	encag-trace -engine tcp -alg hs2 -p 8 -nodes 2 -format chrome -o trace.json
+//	encag-trace -engine real -alg c-rd -p 16 -nodes 4 -format jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"encag"
 	"encag/internal/bench"
 	"encag/internal/cluster"
-	"encag/internal/cost"
-	"encag/internal/encrypted"
+	"encag/internal/obs"
 	"encag/internal/trace"
 )
 
@@ -26,46 +37,122 @@ func main() {
 	algName := flag.String("alg", "hs2", "algorithm name (see encag-explore)")
 	p := flag.Int("p", 16, "number of processes")
 	nodes := flag.Int("nodes", 4, "number of nodes")
-	mapping := flag.String("mapping", "block", "block or cyclic")
+	mapping := flag.String("mapping", "block", "process mapping: block or cyclic")
 	sizeStr := flag.String("size", "64KB", "message size")
-	profName := flag.String("profile", "noleland", "machine profile")
-	width := flag.Int("width", 100, "gantt width in characters")
+	profName := flag.String("profile", "noleland", "machine profile (sim engine only)")
+	width := flag.Int("width", 100, "gantt width in characters (text format)")
+	engine := flag.String("engine", "sim", "execution engine: sim, real or tcp")
+	format := flag.String("format", "text", "output format: text, chrome or jsonl")
+	outPath := flag.String("o", "", "write output to this file instead of stdout")
 	flag.Parse()
 
 	size, err := bench.ParseSize(*sizeStr)
 	if err != nil {
 		fatal(err)
 	}
-	prof, err := cost.ByName(*profName)
-	if err != nil {
-		fatal(err)
+	switch *format {
+	case "text", "chrome", "jsonl":
+	default:
+		fatal(fmt.Errorf("unknown format %q (want text, chrome or jsonl)", *format))
 	}
-	alg, err := encrypted.Get(*algName)
-	if err != nil {
-		fatal(err)
-	}
-	spec := cluster.Spec{P: *p, N: *nodes}
-	if *mapping == "cyclic" {
-		spec.Mapping = cluster.CyclicMapping
-	}
-	if err := spec.Validate(); err != nil {
-		fatal(err)
+	// Spec construction rejects unknown mappings instead of silently
+	// falling back to block.
+	spec := encag.Spec{Procs: *p, Nodes: *nodes, Mapping: *mapping}
+
+	var (
+		tr      *encag.Trace
+		summary obs.RunSummary
+		header  string
+	)
+	switch *engine {
+	case "sim":
+		prof, err := encag.ProfileByName(*profName)
+		if err != nil {
+			fatal(err)
+		}
+		res, t, err := encag.SimulateTraced(spec, prof, *algName, size)
+		if err != nil {
+			fatal(err)
+		}
+		tr = t
+		summary = obs.Summarize("sim", *algName, clusterSpec(spec), size,
+			res.Latency.Seconds(), res.Metrics, tr.Events)
+		header = fmt.Sprintf("%s on p=%d nodes=%d %s, %s blocks [sim/%s]: predicted latency %v",
+			*algName, *p, *nodes, *mapping, bench.SizeName(size), *profName, res.Latency)
+	case "real":
+		res, t, err := encag.RunTraced(spec, *algName, size)
+		if err != nil {
+			fatal(err)
+		}
+		tr = t
+		summary = obs.Summarize("real", *algName, clusterSpec(spec), size,
+			res.Elapsed.Seconds(), res.Metrics, tr.Events).
+			WithSecurity(res.SecurityOK)
+		header = fmt.Sprintf("%s on p=%d nodes=%d %s, %s blocks [real]: elapsed %v, security ok=%v",
+			*algName, *p, *nodes, *mapping, bench.SizeName(size), res.Elapsed, res.SecurityOK)
+	case "tcp":
+		res, t, err := encag.RunOverTCPTraced(spec, *algName, size)
+		if err != nil {
+			fatal(err)
+		}
+		tr = t
+		summary = obs.Summarize("tcp", *algName, clusterSpec(spec), size,
+			res.Elapsed.Seconds(), res.Metrics, tr.Events).
+			WithSecurity(res.SecurityOK).
+			WithWire(res.WireBytes, res.WireTruncated)
+		header = fmt.Sprintf("%s on p=%d nodes=%d %s, %s blocks [tcp]: elapsed %v, security ok=%v, wire %d bytes (truncated=%v)",
+			*algName, *p, *nodes, *mapping, bench.SizeName(size), res.Elapsed, res.SecurityOK,
+			res.WireBytes, res.WireTruncated)
+	default:
+		fatal(fmt.Errorf("unknown engine %q (want sim, real or tcp)", *engine))
 	}
 
-	col := &trace.Collector{}
-	res, err := cluster.RunSimTraced(spec, prof, size, alg, col)
-	if err != nil {
-		fatal(err)
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		out = f
 	}
-	fmt.Printf("%s on p=%d nodes=%d %s, %s blocks: latency %v\n\n",
-		*algName, *p, *nodes, *mapping, bench.SizeName(size), res.LatencyD)
-	if err := col.Gantt(os.Stdout, spec.P, *width); err != nil {
-		fatal(err)
+
+	switch *format {
+	case "text":
+		fmt.Fprintf(out, "%s\n\n", header)
+		col := &trace.Collector{Events: tr.Events}
+		if err := col.Gantt(out, *p, *width); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out)
+		if err := col.WriteBreakdown(out, *p); err != nil {
+			fatal(err)
+		}
+	case "chrome":
+		if err := obs.WriteChromeTrace(out, tr.Events); err != nil {
+			fatal(err)
+		}
+	case "jsonl":
+		if err := summary.WriteJSONL(out); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q (want text, chrome or jsonl)", *format))
 	}
-	fmt.Println()
-	if err := col.WriteBreakdown(os.Stdout, spec.P); err != nil {
-		fatal(err)
+}
+
+// clusterSpec mirrors the facade spec for the summary record; the
+// mapping string was already validated by the run.
+func clusterSpec(s encag.Spec) cluster.Spec {
+	cs := cluster.Spec{P: s.Procs, N: s.Nodes}
+	if s.Mapping == "cyclic" {
+		cs.Mapping = cluster.CyclicMapping
 	}
+	return cs
 }
 
 func fatal(err error) {

@@ -23,6 +23,13 @@
 //     this is what regenerates the paper's tables and figures at p=1024
 //     scale.
 //
+//   - RunTraced / AllgatherTraced / RunOverTCPTraced / SimulateTraced
+//     additionally return the per-rank activity timeline (send,
+//     recv-wait, encrypt, decrypt, copy, barrier) — wall-clock spans for
+//     the real engines, virtual-time spans for the simulator — enabling
+//     side-by-side model-vs-measurement comparison (see cmd/encag-trace
+//     for Chrome/Perfetto and JSONL export).
+//
 //   - Allreduce generalizes the approach to an encrypted all-reduce.
 //
 //   - LowerBounds / Predict evaluate the paper's Table I bounds and
@@ -44,6 +51,7 @@ import (
 	"encag/internal/collective"
 	"encag/internal/cost"
 	"encag/internal/encrypted"
+	"encag/internal/trace"
 )
 
 // Profile is a machine model (latencies, bandwidths, GCM throughput).
@@ -63,6 +71,23 @@ func ProfileByName(name string) (Profile, error) { return cost.ByName(name) }
 // Metrics is the paper's six-metric cost summary of a run (maxima over
 // ranks, the per-metric critical path).
 type Metrics = cluster.Critical
+
+// TraceEvent is one interval of activity on one rank: what it was doing
+// (send, recv-wait, encrypt, decrypt, copy, barrier), when, over how
+// many bytes, and with which peer.
+type TraceEvent = cluster.TraceEvent
+
+// TraceKind labels a TraceEvent's activity category.
+type TraceKind = cluster.TraceKind
+
+// Trace is the collected activity timeline of a traced run. Event times
+// are seconds since the operation started: virtual seconds for
+// SimulateTraced, wall-clock seconds for RunTraced and RunOverTCPTraced
+// — the same stream in both cases, so a predicted and a measured
+// timeline can be compared directly (see internal/obs for exporters).
+type Trace struct {
+	Events []TraceEvent
+}
 
 // BoundSet carries Table I / Table II style metric tuples.
 type BoundSet = bounds.Metrics
@@ -193,6 +218,10 @@ type RunResult struct {
 // transport: data[r] is rank r's contribution (all equal length), and
 // the result reports every rank's gathered view plus the security audit.
 func Allgather(spec Spec, algorithm string, data [][]byte) (*RunResult, error) {
+	return allgather(spec, algorithm, data, nil)
+}
+
+func allgather(spec Spec, algorithm string, data [][]byte, tracer cluster.Tracer) (*RunResult, error) {
 	cs, err := spec.toCluster()
 	if err != nil {
 		return nil, err
@@ -205,7 +234,7 @@ func Allgather(spec Spec, algorithm string, data [][]byte) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := cluster.RunRealData(cs, msgSize, data, alg)
+	res, err := cluster.RunRealDataTraced(cs, msgSize, data, alg, tracer)
 	if err != nil {
 		return nil, err
 	}
@@ -313,6 +342,9 @@ type TCPResult struct {
 	// WireClean reports that no rank's plaintext block appeared anywhere
 	// in the captured inter-node wire bytes.
 	WireClean bool
+	// WireTruncated reports that the sniffer's capture buffer hit its cap
+	// and dropped bytes: WireClean then only covers the captured prefix.
+	WireTruncated bool
 }
 
 // RunOverTCP executes the algorithm over real loopback TCP sockets with
@@ -321,6 +353,10 @@ type TCPResult struct {
 // captured so the result can state — at the byte level — whether any
 // plaintext block was visible to an eavesdropper.
 func RunOverTCP(spec Spec, algorithm string, msgSize int64) (*TCPResult, error) {
+	return runOverTCP(spec, algorithm, msgSize, nil)
+}
+
+func runOverTCP(spec Spec, algorithm string, msgSize int64, tracer cluster.Tracer) (*TCPResult, error) {
 	cs, err := spec.toCluster()
 	if err != nil {
 		return nil, err
@@ -329,7 +365,7 @@ func RunOverTCP(spec Spec, algorithm string, msgSize int64) (*TCPResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := cluster.RunTCP(cs, msgSize, alg)
+	res, err := cluster.RunTCPTraced(cs, msgSize, alg, tracer)
 	if err != nil {
 		return nil, err
 	}
@@ -345,8 +381,9 @@ func RunOverTCP(spec Spec, algorithm string, msgSize int64) (*TCPResult, error) 
 			Violations:    append([]string(nil), res.Audit.Violations...),
 			Elapsed:       res.Elapsed,
 		},
-		WireBytes: res.Sniffer.Total(),
-		WireClean: true,
+		WireBytes:     res.Sniffer.Total(),
+		WireClean:     true,
+		WireTruncated: res.Sniffer.Truncated(),
 	}
 	for r := 0; r < cs.P; r++ {
 		if msgSize >= 16 && res.Sniffer.Contains(block.FillPattern(r, msgSize)) {
@@ -365,6 +402,73 @@ func Run(spec Spec, algorithm string, msgSize int64) (*RunResult, error) {
 		data[r] = block.FillPattern(r, msgSize)
 	}
 	return Allgather(spec, algorithm, data)
+}
+
+// RunTraced is Run with wall-clock tracing: alongside the result it
+// returns the measured activity timeline of every rank — each send,
+// recv-wait, encrypt, decrypt, copy and barrier interval, in seconds
+// since the collective started.
+func RunTraced(spec Spec, algorithm string, msgSize int64) (*RunResult, *Trace, error) {
+	data := make([][]byte, spec.Procs)
+	for r := range data {
+		data[r] = block.FillPattern(r, msgSize)
+	}
+	col := &trace.Collector{}
+	res, err := allgather(spec, algorithm, data, col)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, &Trace{Events: col.Events}, nil
+}
+
+// AllgatherTraced is Allgather with wall-clock tracing (see RunTraced).
+func AllgatherTraced(spec Spec, algorithm string, data [][]byte) (*RunResult, *Trace, error) {
+	col := &trace.Collector{}
+	res, err := allgather(spec, algorithm, data, col)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, &Trace{Events: col.Events}, nil
+}
+
+// RunOverTCPTraced is RunOverTCP with wall-clock tracing (see
+// RunTraced): the timeline measures real socket sends, receive waits
+// and AES-GCM work.
+func RunOverTCPTraced(spec Spec, algorithm string, msgSize int64) (*TCPResult, *Trace, error) {
+	col := &trace.Collector{}
+	res, err := runOverTCP(spec, algorithm, msgSize, col)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, &Trace{Events: col.Events}, nil
+}
+
+// SimulateTraced is Simulate with virtual-time tracing: the returned
+// timeline is the model's *predicted* schedule, directly comparable to
+// the measured one from RunTraced/RunOverTCPTraced.
+func SimulateTraced(spec Spec, prof Profile, algorithm string, msgSize int64) (SimResult, *Trace, error) {
+	cs, err := spec.toCluster()
+	if err != nil {
+		return SimResult{}, nil, err
+	}
+	alg, err := lookup(algorithm)
+	if err != nil {
+		return SimResult{}, nil, err
+	}
+	col := &trace.Collector{}
+	res, err := cluster.RunSimTraced(cs, prof, msgSize, alg, col)
+	if err != nil {
+		return SimResult{}, nil, err
+	}
+	if err := cluster.ValidateGather(cs, msgSize, res.Results, false); err != nil {
+		return SimResult{}, nil, fmt.Errorf("encag: %s produced an invalid gather: %w", algorithm, err)
+	}
+	return SimResult{
+		Latency:    res.LatencyD,
+		Metrics:    res.Critical,
+		InterBytes: res.InterBytes,
+		IntraBytes: res.IntraBytes,
+	}, &Trace{Events: col.Events}, nil
 }
 
 // CombineFunc is an all-reduce operator: it folds src into dst (equal

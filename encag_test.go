@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"encag/internal/cluster"
 )
 
 func TestRunQuickstartPath(t *testing.T) {
@@ -150,6 +152,122 @@ func TestAlgorithmsListRealEngine(t *testing.T) {
 				t.Errorf("%s: rank %d gathered %d blocks", name, r, len(res.Gathered[r]))
 			}
 		}
+	}
+}
+
+// kindTimes folds a trace into per-kind total seconds.
+func kindTimes(tr *Trace) map[TraceKind]float64 {
+	out := make(map[TraceKind]float64)
+	for _, ev := range tr.Events {
+		out[ev.Kind] += ev.End - ev.Start
+	}
+	return out
+}
+
+// RunTraced must produce a wall-clock timeline whose encrypt/decrypt
+// byte totals agree with the six-metric summary and whose spans lie
+// within the elapsed window.
+func TestRunTracedTimeline(t *testing.T) {
+	spec := Spec{Procs: 8, Nodes: 2}
+	res, tr, err := RunTraced(spec, "hs2", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SecurityOK {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("no trace events from a traced real run")
+	}
+	var encBytes, decBytes int64
+	seen := make(map[TraceKind]bool)
+	horizon := res.Elapsed.Seconds()
+	for _, ev := range tr.Events {
+		seen[ev.Kind] = true
+		if ev.Start < 0 || ev.End < ev.Start {
+			t.Fatalf("bad interval: %+v", ev)
+		}
+		// Elapsed is measured from the same epoch; allow scheduler slack.
+		if ev.End > horizon+0.5 {
+			t.Fatalf("event beyond elapsed window: %+v vs %g", ev, horizon)
+		}
+		switch ev.Kind {
+		case cluster.TraceEncrypt:
+			encBytes += ev.Bytes
+		case cluster.TraceDecrypt:
+			decBytes += ev.Bytes
+		}
+	}
+	for _, k := range []TraceKind{cluster.TraceSend, cluster.TraceRecv, cluster.TraceEncrypt, cluster.TraceDecrypt} {
+		if !seen[k] {
+			t.Errorf("no %v events in traced real run", k)
+		}
+	}
+	// hs2 on 8 ranks over 2 nodes encrypts on every rank: the aggregate
+	// traced bytes must be at least the critical rank's.
+	if encBytes < res.Metrics.Se {
+		t.Errorf("traced encrypt bytes %d below critical-path se=%d", encBytes, res.Metrics.Se)
+	}
+	if decBytes < res.Metrics.Sd {
+		t.Errorf("traced decrypt bytes %d below critical-path sd=%d", decBytes, res.Metrics.Sd)
+	}
+}
+
+// Untraced runs must stay trace-free and still succeed after the engine
+// hook refactor.
+func TestRunOverTCPTraced(t *testing.T) {
+	spec := Spec{Procs: 8, Nodes: 2}
+	res, tr, err := RunOverTCPTraced(spec, "hs2", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SecurityOK || !res.WireClean {
+		t.Fatalf("security failed: %v", res.Violations)
+	}
+	if res.WireBytes == 0 {
+		t.Fatal("no wire bytes recorded")
+	}
+	if res.WireTruncated {
+		t.Fatal("small capture unexpectedly truncated")
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("no trace events from a traced TCP run")
+	}
+	sendBytes := kindBytes(tr, cluster.TraceSend)
+	if sendBytes == 0 {
+		t.Fatal("no send bytes traced over TCP")
+	}
+}
+
+func kindBytes(tr *Trace, k TraceKind) int64 {
+	var n int64
+	for _, ev := range tr.Events {
+		if ev.Kind == k {
+			n += ev.Bytes
+		}
+	}
+	return n
+}
+
+// SimulateTraced must agree with Simulate and return the virtual-time
+// timeline.
+func TestSimulateTraced(t *testing.T) {
+	spec := Spec{Procs: 16, Nodes: 4}
+	plainRes, err := Simulate(spec, Noleland(), "c-rd", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, tr, err := SimulateTraced(spec, Noleland(), "c-rd", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency != plainRes.Latency || res.Metrics != plainRes.Metrics {
+		t.Fatalf("traced sim differs from plain sim: %v/%v vs %v/%v",
+			res.Latency, res.Metrics, plainRes.Latency, plainRes.Metrics)
+	}
+	times := kindTimes(tr)
+	if times[cluster.TraceSend] <= 0 || times[cluster.TraceDecrypt] <= 0 {
+		t.Fatalf("sim timeline missing phases: %v", times)
 	}
 }
 

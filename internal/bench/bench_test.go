@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -286,6 +287,35 @@ func TestPlotTable(t *testing.T) {
 	}
 	if _, err := PlotTable(bad); err == nil {
 		t.Fatal("PlotTable accepted non-numeric table")
+	}
+}
+
+func TestTableJSONL(t *testing.T) {
+	tb := Table{
+		ID:      "t",
+		Title:   "demo",
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"x", "1"}, {"longer", "2"}},
+	}
+	var buf bytes.Buffer
+	if err := tb.JSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want one JSON line per row, got %d", len(lines))
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("row %d not valid JSON: %v", i, err)
+		}
+		if m["experiment"] != "t" || m["table"] != "demo" {
+			t.Errorf("row %d missing identity: %v", i, m)
+		}
+		if _, ok := m["a"]; !ok {
+			t.Errorf("row %d missing column a: %v", i, m)
+		}
 	}
 }
 

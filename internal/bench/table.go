@@ -6,6 +6,7 @@ package bench
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -93,6 +94,28 @@ func (t Table) CSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// JSONL writes the table as JSON Lines: one object per row keyed by the
+// column headers, each carrying the experiment and table identity — the
+// structured-telemetry form of the bench output, greppable and easy to
+// load into pandas/jq alongside encag-trace's run summaries.
+func (t Table) JSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, row := range t.Rows {
+		rec := make(map[string]any, len(t.Headers)+2)
+		rec["experiment"] = t.ID
+		rec["table"] = t.Title
+		for i, h := range t.Headers {
+			if i < len(row) {
+				rec[h] = row[i]
+			}
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Cell looks up a cell by row key (first column) and column header;

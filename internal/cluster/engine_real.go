@@ -73,6 +73,7 @@ type realEngine struct {
 	bars      []*realBarrier
 	audit     *SecurityAudit
 	adversary Adversary
+	wt        wallTrace     // wall-clock tracing; inert unless a tracer is set
 	aborted   chan struct{} // closed when any rank fails: unblocks peers
 	abortOnce sync.Once
 }
@@ -152,10 +153,17 @@ func (e *realEngine) isend(p *Proc, dst int, msg block.Message) Request {
 	if e.adversary != nil && !e.spec.SameNode(p.rank, dst) {
 		msg = e.adversary(p.rank, dst, msg)
 	}
+	var start float64
+	if e.wt.active() {
+		start = e.wt.now()
+	}
 	select {
 	case e.boxes[dst] <- envelope{src: p.rank, msg: msg}:
 	case <-e.aborted:
 		panic(errRunAborted)
+	}
+	if e.wt.active() {
+		e.wt.emit(p.rank, TraceSend, start, msg.WireLen(), dst)
 	}
 	return realSendReq{}
 }
@@ -171,7 +179,14 @@ func (e *realEngine) wait(p *Proc, reqs []Request) []block.Message {
 		if !ok {
 			continue // sends are already enqueued
 		}
+		var start float64
+		if e.wt.active() {
+			start = e.wt.now()
+		}
 		out[i] = e.recvFrom(p.rank, rr.src)
+		if e.wt.active() {
+			e.wt.emit(p.rank, TraceRecv, start, out[i].WireLen(), rr.src)
+		}
 	}
 	return out
 }
@@ -198,9 +213,9 @@ func (e *realEngine) recvFrom(rank, src int) block.Message {
 	}
 }
 
-func (e *realEngine) chargeEncrypt(p *Proc, n int64) {}
-func (e *realEngine) chargeDecrypt(p *Proc, n int64) {}
-func (e *realEngine) chargeCopy(p *Proc, n int64)    {}
+func (e *realEngine) span(p *Proc, kind TraceKind, n int64) func() {
+	return e.wt.span(p.rank, kind, n)
+}
 
 func (e *realEngine) shmPut(p *Proc, key string, msg block.Message) {
 	s := e.shm[p.Node()]
@@ -218,7 +233,13 @@ func (e *realEngine) shmGet(p *Proc, key string) (block.Message, bool) {
 }
 
 func (e *realEngine) nodeBarrier(p *Proc) {
+	if !e.wt.active() {
+		e.bars[p.Node()].await()
+		return
+	}
+	start := e.wt.now()
 	e.bars[p.Node()].await()
+	e.wt.emit(p.rank, TraceBarrier, start, 0, -1)
 }
 
 func (e *realEngine) sealer() *seal.Sealer { return e.slr }
@@ -244,10 +265,26 @@ func RunReal(spec Spec, msgSize int64, algo Algorithm) (*RealResult, error) {
 	return RunRealData(spec, msgSize, nil, algo)
 }
 
+// RunRealTraced is RunReal with a wall-clock activity tracer: every
+// send, receive-wait, encryption, decryption, copy and barrier interval
+// of every rank is reported in seconds since the collective started —
+// the real-time counterpart of RunSimTraced's virtual timeline. The
+// tracer is invoked concurrently from p rank goroutines and must be
+// goroutine-safe (trace.Collector is).
+func RunRealTraced(spec Spec, msgSize int64, algo Algorithm, tracer Tracer) (*RealResult, error) {
+	return RunRealDataTraced(spec, msgSize, nil, algo, tracer)
+}
+
 // RunRealData is RunReal with caller-supplied contributions: payloads[r]
 // is rank r's block (all must share msgSize length). A nil payloads uses
 // the deterministic test pattern.
 func RunRealData(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm) (*RealResult, error) {
+	return RunRealDataTraced(spec, msgSize, payloads, algo, nil)
+}
+
+// RunRealDataTraced is RunRealData with a wall-clock activity tracer
+// (see RunRealTraced).
+func RunRealDataTraced(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, tracer Tracer) (*RealResult, error) {
 	if payloads != nil {
 		for r, pl := range payloads {
 			if int64(len(pl)) != msgSize {
@@ -255,7 +292,7 @@ func RunRealData(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm) (*
 			}
 		}
 	}
-	return runReal(spec, msgSize, payloads, algo, nil)
+	return runReal(spec, msgSize, payloads, algo, nil, tracer)
 }
 
 // RunRealAdversarial is RunReal with a man-in-the-middle on every
@@ -263,7 +300,7 @@ func RunRealData(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm) (*
 // node boundary. Used to verify end-to-end that tampering cannot go
 // undetected in any algorithm.
 func RunRealAdversarial(spec Spec, msgSize int64, algo Algorithm, adv Adversary) (*RealResult, error) {
-	return runReal(spec, msgSize, nil, algo, adv)
+	return runReal(spec, msgSize, nil, algo, adv, nil)
 }
 
 // RunRealV is the all-gatherv variant: contributions may have different
@@ -275,10 +312,10 @@ func RunRealV(spec Spec, payloads [][]byte, algo Algorithm) (*RealResult, error)
 	if len(payloads) != spec.P {
 		return nil, fmt.Errorf("cluster: %d payloads for %d ranks", len(payloads), spec.P)
 	}
-	return runReal(spec, 0, payloads, algo, nil)
+	return runReal(spec, 0, payloads, algo, nil, nil)
 }
 
-func runReal(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, adv Adversary) (*RealResult, error) {
+func runReal(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, adv Adversary, tracer Tracer) (*RealResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -299,6 +336,7 @@ func runReal(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, adv Ad
 		bars:      make([]*realBarrier, spec.N),
 		audit:     &SecurityAudit{},
 		adversary: adv,
+		wt:        wallTrace{tracer: tracer},
 		aborted:   make(chan struct{}),
 	}
 	for r := 0; r < spec.P; r++ {
@@ -327,6 +365,7 @@ func runReal(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, adv Ad
 	errs := make(chan error, spec.P)
 	var wg sync.WaitGroup
 	start := time.Now()
+	e.wt.epoch = start
 	for r := 0; r < spec.P; r++ {
 		r := r
 		wg.Add(1)

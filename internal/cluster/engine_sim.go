@@ -173,25 +173,26 @@ func (e *simEngine) wait(p *Proc, reqs []Request) []block.Message {
 	return out
 }
 
-func (e *simEngine) chargeEncrypt(p *Proc, n int64) {
+// span charges the modelled cost of a compute phase up front in virtual
+// time (there is no real work to bracket in sim mode) and returns a
+// no-op closer.
+func (e *simEngine) span(p *Proc, kind TraceKind, n int64) func() {
 	sp := e.sproc(p)
 	start := sp.Now()
-	sp.Wait(e.prof.EncryptTime(n))
-	e.trace(TraceEvent{Rank: p.rank, Kind: TraceEncrypt, Start: start, End: sp.Now(), Bytes: n, Peer: -1})
-}
-
-func (e *simEngine) chargeDecrypt(p *Proc, n int64) {
-	sp := e.sproc(p)
-	start := sp.Now()
-	sp.Wait(e.prof.DecryptTime(n))
-	e.trace(TraceEvent{Rank: p.rank, Kind: TraceDecrypt, Start: start, End: sp.Now(), Bytes: n, Peer: -1})
-}
-
-func (e *simEngine) chargeCopy(p *Proc, n int64) {
-	sp := e.sproc(p)
-	start := sp.Now()
-	sp.Wait(e.prof.CopyTime(n))
-	e.trace(TraceEvent{Rank: p.rank, Kind: TraceCopy, Start: start, End: sp.Now(), Bytes: n, Peer: -1})
+	var c float64
+	switch kind {
+	case TraceEncrypt:
+		c = e.prof.EncryptTime(n)
+	case TraceDecrypt:
+		c = e.prof.DecryptTime(n)
+	case TraceCopy:
+		c = e.prof.CopyTime(n)
+	default:
+		panic(fmt.Sprintf("cluster: sim span for non-compute kind %v", kind))
+	}
+	sp.Wait(c)
+	e.trace(TraceEvent{Rank: p.rank, Kind: kind, Start: start, End: sp.Now(), Bytes: n, Peer: -1})
+	return noopSpan
 }
 
 func (e *simEngine) shmPut(p *Proc, key string, msg block.Message) {

@@ -95,6 +95,7 @@ type tcpEngine struct {
 	bars      []*realBarrier
 	audit     *SecurityAudit
 	sniffer   *WireSniffer
+	wt        wallTrace // wall-clock tracing; inert unless a tracer is set
 	aborted   chan struct{}
 	abortOnce sync.Once
 	readersWG sync.WaitGroup
@@ -123,8 +124,15 @@ func (tcpSendReq) isRequest() {}
 func (e *tcpEngine) isend(p *Proc, dst int, msg block.Message) Request {
 	e.audit.record(e.spec, p.rank, dst, msg)
 	conn := e.conns[p.rank][dst]
+	var start float64
+	if e.wt.active() {
+		start = e.wt.now()
+	}
 	if err := wire.WriteMessage(conn, p.rank, msg); err != nil {
 		panic(fmt.Sprintf("cluster: tcp send %d->%d: %v", p.rank, dst, err))
+	}
+	if e.wt.active() {
+		e.wt.emit(p.rank, TraceSend, start, msg.WireLen(), dst)
 	}
 	return tcpSendReq{}
 }
@@ -140,7 +148,14 @@ func (e *tcpEngine) wait(p *Proc, reqs []Request) []block.Message {
 		if !ok {
 			continue
 		}
+		var start float64
+		if e.wt.active() {
+			start = e.wt.now()
+		}
 		out[i] = e.recvFrom(p.rank, rr.src)
+		if e.wt.active() {
+			e.wt.emit(p.rank, TraceRecv, start, out[i].WireLen(), rr.src)
+		}
 	}
 	return out
 }
@@ -165,9 +180,9 @@ func (e *tcpEngine) recvFrom(rank, src int) block.Message {
 	}
 }
 
-func (e *tcpEngine) chargeEncrypt(p *Proc, n int64) {}
-func (e *tcpEngine) chargeDecrypt(p *Proc, n int64) {}
-func (e *tcpEngine) chargeCopy(p *Proc, n int64)    {}
+func (e *tcpEngine) span(p *Proc, kind TraceKind, n int64) func() {
+	return e.wt.span(p.rank, kind, n)
+}
 
 func (e *tcpEngine) shmPut(p *Proc, key string, msg block.Message) {
 	s := e.shm[p.Node()]
@@ -184,7 +199,16 @@ func (e *tcpEngine) shmGet(p *Proc, key string) (block.Message, bool) {
 	return msg, ok
 }
 
-func (e *tcpEngine) nodeBarrier(p *Proc)  { e.bars[p.Node()].await() }
+func (e *tcpEngine) nodeBarrier(p *Proc) {
+	if !e.wt.active() {
+		e.bars[p.Node()].await()
+		return
+	}
+	start := e.wt.now()
+	e.bars[p.Node()].await()
+	e.wt.emit(p.rank, TraceBarrier, start, 0, -1)
+}
+
 func (e *tcpEngine) sealer() *seal.Sealer { return e.slr }
 
 // TCPResult extends the real-engine result with the wire capture.
@@ -200,6 +224,14 @@ type TCPResult struct {
 // — at the byte level an eavesdropper sees — that only ciphertext leaves
 // a node.
 func RunTCP(spec Spec, msgSize int64, algo Algorithm) (*TCPResult, error) {
+	return RunTCPTraced(spec, msgSize, algo, nil)
+}
+
+// RunTCPTraced is RunTCP with a wall-clock activity tracer: every send,
+// receive-wait, encryption, decryption, copy and barrier interval of
+// every rank is reported in seconds since the collective started (see
+// RunRealTraced). The tracer must be goroutine-safe.
+func RunTCPTraced(spec Spec, msgSize int64, algo Algorithm, tracer Tracer) (*TCPResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -218,6 +250,7 @@ func RunTCP(spec Spec, msgSize int64, algo Algorithm) (*TCPResult, error) {
 		bars:    make([]*realBarrier, spec.N),
 		audit:   &SecurityAudit{},
 		sniffer: &WireSniffer{},
+		wt:      wallTrace{tracer: tracer},
 		aborted: make(chan struct{}),
 	}
 	for r := 0; r < spec.P; r++ {
@@ -327,6 +360,7 @@ func RunTCP(spec Spec, msgSize int64, algo Algorithm) (*TCPResult, error) {
 	errs := make(chan error, spec.P)
 	var wg sync.WaitGroup
 	start := time.Now()
+	e.wt.epoch = start
 	for r := 0; r < spec.P; r++ {
 		r := r
 		wg.Add(1)

@@ -17,9 +17,12 @@ type engine interface {
 	irecv(p *Proc, src int) Request
 	wait(p *Proc, reqs []Request) []block.Message
 
-	chargeEncrypt(p *Proc, n int64)
-	chargeDecrypt(p *Proc, n int64)
-	chargeCopy(p *Proc, n int64)
+	// span opens a compute-phase interval (encrypt, decrypt or copy) of n
+	// bytes and returns its closer, called when the work is done. The sim
+	// engine charges the modelled cost up front and returns a no-op; the
+	// real and TCP engines measure the wall-clock interval and emit a
+	// TraceEvent when a tracer is attached.
+	span(p *Proc, kind TraceKind, n int64) func()
 
 	shmPut(p *Proc, key string, msg block.Message)
 	shmGet(p *Proc, key string) (block.Message, bool)
@@ -199,7 +202,7 @@ func (p *Proc) Encrypt(chunks ...block.Chunk) block.Chunk {
 	}
 	p.met.EncRounds++
 	p.met.EncBytes += plainLen
-	p.eng.chargeEncrypt(p, plainLen)
+	done := p.eng.span(p, TraceEncrypt, plainLen)
 	out := block.Chunk{Enc: true, Blocks: blocks}
 	if s := p.eng.sealer(); s != nil {
 		pt := make([]byte, 0, plainLen)
@@ -215,6 +218,7 @@ func (p *Proc) Encrypt(chunks ...block.Chunk) block.Chunk {
 		}
 		out.Payload = blob
 	}
+	done()
 	return out
 }
 
@@ -227,7 +231,7 @@ func (p *Proc) Decrypt(c block.Chunk) block.Chunk {
 	n := c.PlainLen()
 	p.met.DecRounds++
 	p.met.DecBytes += n
-	p.eng.chargeDecrypt(p, n)
+	done := p.eng.span(p, TraceDecrypt, n)
 	out := block.Chunk{Blocks: append([]block.Block(nil), c.Blocks...)}
 	if s := p.eng.sealer(); s != nil {
 		if c.Payload == nil {
@@ -239,6 +243,7 @@ func (p *Proc) Decrypt(c block.Chunk) block.Chunk {
 		}
 		out.Payload = pt
 	}
+	done()
 	return out
 }
 
@@ -262,7 +267,7 @@ func (p *Proc) DecryptAll(msg block.Message) block.Message {
 func (p *Proc) CopyCharge(n int64) {
 	p.met.Copies++
 	p.met.CopyBytes += n
-	p.eng.chargeCopy(p, n)
+	p.eng.span(p, TraceCopy, n)()
 }
 
 // ShmPut publishes msg under key in this node's shared-memory segment.

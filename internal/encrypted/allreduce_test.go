@@ -2,6 +2,7 @@ package encrypted
 
 import (
 	"bytes"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -101,9 +102,9 @@ func TestAllreduceDecryptionEconomics(t *testing.T) {
 // The adversary checks apply to the reduction too.
 func TestAllreduceTamperDetected(t *testing.T) {
 	spec := cluster.Spec{P: 8, N: 4, Mapping: cluster.BlockMapping}
-	flipped := false
+	var flipped atomic.Bool
 	adv := func(src, dst int, msg block.Message) block.Message {
-		if flipped {
+		if flipped.Load() {
 			return msg
 		}
 		out := msg.Clone()
@@ -112,14 +113,14 @@ func TestAllreduceTamperDetected(t *testing.T) {
 				bad := append([]byte(nil), c.Payload...)
 				bad[0] ^= 1
 				out.Chunks[i].Payload = bad
-				flipped = true
+				flipped.Store(true)
 				break
 			}
 		}
 		return out
 	}
 	_, err := cluster.RunRealAdversarial(spec, 64, AllreduceHS(XOR), adv)
-	if !flipped {
+	if !flipped.Load() {
 		t.Fatal("no ciphertext crossed the adversary")
 	}
 	if err == nil {

@@ -1,0 +1,192 @@
+// Package obs is the observability layer: it turns a run's TraceEvent
+// stream and results into machine-readable artifacts so the simulator's
+// predicted timeline and a real run's measured timeline can be laid side
+// by side — the repo's model-vs-measurement validation loop.
+//
+// Two exporters:
+//
+//   - Chrome trace_event JSON (WriteChromeTrace), loadable in Perfetto
+//     (https://ui.perfetto.dev) or chrome://tracing, with one track per
+//     rank and one slice per send / recv-wait / encrypt / decrypt /
+//     copy / barrier interval;
+//   - JSONL structured run summaries (RunSummary), one object per line:
+//     spec, algorithm, the paper's six critical-path metrics, per-phase
+//     time and byte totals, and — for TCP runs — the WireSniffer's
+//     capture totals.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"encag/internal/cluster"
+)
+
+// chromeEvent is one trace_event entry. We emit "X" (complete) events
+// with microsecond timestamps, plus "M" (metadata) events naming each
+// rank's track.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the events as Chrome trace_event JSON: one
+// track (thread) per rank, one complete slice per activity interval.
+// Event times are interpreted as seconds since the run started —
+// virtual seconds for the sim engine, wall-clock seconds for the real
+// and TCP engines — and exported in microseconds, the format's unit.
+func WriteChromeTrace(w io.Writer, events []cluster.TraceEvent) error {
+	maxRank := -1
+	for _, ev := range events {
+		if ev.Rank > maxRank {
+			maxRank = ev.Rank
+		}
+	}
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(events)+maxRank+2),
+		DisplayTimeUnit: "ms",
+	}
+	for r := 0; r <= maxRank; r++ {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+		// sort_index keeps tracks in rank order in the viewer.
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: r,
+			Args: map[string]any{"sort_index": r},
+		})
+	}
+	for _, ev := range events {
+		args := map[string]any{"bytes": ev.Bytes}
+		if ev.Peer >= 0 {
+			args["peer"] = ev.Peer
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: ev.Kind.String(),
+			Cat:  ev.Kind.String(),
+			Ph:   "X",
+			Ts:   ev.Start * 1e6,
+			Dur:  (ev.End - ev.Start) * 1e6,
+			Pid:  0,
+			Tid:  ev.Rank,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// MetricsSummary is the JSON shape of the paper's six critical-path
+// metrics (Section IV.A).
+type MetricsSummary struct {
+	Rc int   `json:"rc"` // communication rounds
+	Sc int64 `json:"sc"` // communication bytes
+	Re int   `json:"re"` // encryption rounds
+	Se int64 `json:"se"` // encrypted bytes
+	Rd int   `json:"rd"` // decryption rounds
+	Sd int64 `json:"sd"` // decrypted bytes
+}
+
+// WireSummary reports what the TCP engine's WireSniffer captured, so a
+// truncated capture is visible instead of silently passing.
+type WireSummary struct {
+	Bytes     int64 `json:"bytes"`     // total inter-node bytes on the wire
+	Truncated bool  `json:"truncated"` // capture hit its cap and dropped bytes
+}
+
+// RunSummary is one structured run record, written as a single JSONL
+// line. PhaseSec/PhaseBytes aggregate the trace over all ranks per
+// activity kind; CritPhaseSec is the same breakdown restricted to the
+// last-finishing rank — the one that defines the latency.
+type RunSummary struct {
+	Engine       string             `json:"engine"` // "sim", "real" or "tcp"
+	Algorithm    string             `json:"algorithm"`
+	Procs        int                `json:"procs"`
+	Nodes        int                `json:"nodes"`
+	Mapping      string             `json:"mapping"`
+	MsgSize      int64              `json:"msg_size"`
+	ElapsedSec   float64            `json:"elapsed_sec"` // virtual latency (sim) or wall clock
+	Metrics      MetricsSummary     `json:"metrics"`
+	PhaseSec     map[string]float64 `json:"phase_sec,omitempty"`
+	PhaseBytes   map[string]int64   `json:"phase_bytes,omitempty"`
+	CritRank     int                `json:"crit_rank"`
+	CritEndSec   float64            `json:"crit_end_sec"`
+	CritPhaseSec map[string]float64 `json:"crit_phase_sec,omitempty"`
+	SecurityOK   *bool              `json:"security_ok,omitempty"` // real/tcp only
+	Wire         *WireSummary       `json:"wire,omitempty"`        // tcp only
+}
+
+// Summarize builds a RunSummary from a run's spec, six-metric critical
+// path and trace events. Security and wire fields are left unset; the
+// caller fills them for real/TCP runs via WithSecurity/WithWire.
+func Summarize(engine, algorithm string, spec cluster.Spec, msgSize int64, elapsedSec float64, crit cluster.Critical, events []cluster.TraceEvent) RunSummary {
+	s := RunSummary{
+		Engine:     engine,
+		Algorithm:  algorithm,
+		Procs:      spec.P,
+		Nodes:      spec.N,
+		Mapping:    spec.Mapping.String(),
+		MsgSize:    msgSize,
+		ElapsedSec: elapsedSec,
+		Metrics: MetricsSummary{
+			Rc: crit.Rc, Sc: crit.Sc, Re: crit.Re,
+			Se: crit.Se, Rd: crit.Rd, Sd: crit.Sd,
+		},
+	}
+	if len(events) == 0 {
+		return s
+	}
+	s.PhaseSec = make(map[string]float64)
+	s.PhaseBytes = make(map[string]int64)
+	perRankEnd := make(map[int]float64)
+	for _, ev := range events {
+		k := ev.Kind.String()
+		s.PhaseSec[k] += ev.End - ev.Start
+		s.PhaseBytes[k] += ev.Bytes
+		if ev.End > perRankEnd[ev.Rank] {
+			perRankEnd[ev.Rank] = ev.End
+		}
+	}
+	for r, end := range perRankEnd {
+		if end > s.CritEndSec || (end == s.CritEndSec && r < s.CritRank) {
+			s.CritEndSec, s.CritRank = end, r
+		}
+	}
+	s.CritPhaseSec = make(map[string]float64)
+	for _, ev := range events {
+		if ev.Rank == s.CritRank {
+			s.CritPhaseSec[ev.Kind.String()] += ev.End - ev.Start
+		}
+	}
+	return s
+}
+
+// WithSecurity records the security-audit verdict (real and TCP runs).
+func (s RunSummary) WithSecurity(ok bool) RunSummary {
+	s.SecurityOK = &ok
+	return s
+}
+
+// WithWire records the WireSniffer capture totals (TCP runs).
+func (s RunSummary) WithWire(bytes int64, truncated bool) RunSummary {
+	s.Wire = &WireSummary{Bytes: bytes, Truncated: truncated}
+	return s
+}
+
+// WriteJSONL writes the summary as one JSON line.
+func (s RunSummary) WriteJSONL(w io.Writer) error {
+	return json.NewEncoder(w).Encode(s)
+}

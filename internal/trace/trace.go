@@ -1,10 +1,12 @@
-// Package trace collects and analyses activity timelines from simulated
-// all-gather runs: what every rank spent on sending, receiving (i.e.
-// waiting for data), encrypting, decrypting, copying and synchronising,
-// in virtual time. It renders per-rank breakdowns, an aggregate time
-// profile, and an ASCII Gantt chart — handy for seeing *why* one
-// algorithm beats another (e.g. Naive's post-all-gather decryption wall,
-// or HS2's copy-dominated step 4).
+// Package trace collects and analyses activity timelines from all-gather
+// runs: what every rank spent on sending, receiving (i.e. waiting for
+// data), encrypting, decrypting, copying and synchronising — in virtual
+// time for the sim engine, in wall-clock time for the real and TCP
+// engines. It renders per-rank breakdowns, an aggregate time profile,
+// and an ASCII Gantt chart — handy for seeing *why* one algorithm beats
+// another (e.g. Naive's post-all-gather decryption wall, or HS2's
+// copy-dominated step 4). internal/obs exports the same event stream as
+// Chrome trace JSON and JSONL run summaries.
 package trace
 
 import (
@@ -12,18 +14,35 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"encag/internal/cluster"
 )
 
 // Collector accumulates trace events; it implements cluster.Tracer.
+// Record is goroutine-safe: the real and TCP engines emit events from p
+// concurrent rank goroutines (the sim scheduler is sequential). The
+// analysis methods snapshot the event list under the same lock, so they
+// may be called while a run is still recording, though they are normally
+// used after the run returns.
 type Collector struct {
+	mu     sync.Mutex
 	Events []cluster.TraceEvent
 }
 
 // Record implements cluster.Tracer.
 func (c *Collector) Record(ev cluster.TraceEvent) {
+	c.mu.Lock()
 	c.Events = append(c.Events, ev)
+	c.mu.Unlock()
+}
+
+// snapshot returns the events recorded so far; safe against concurrent
+// Record calls.
+func (c *Collector) snapshot() []cluster.TraceEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Events[:len(c.Events):len(c.Events)]
 }
 
 // Kinds lists the activity categories in display order.
@@ -61,7 +80,7 @@ func (c *Collector) Profiles(p int) []Profile {
 			Bytes: make(map[cluster.TraceKind]int64),
 		}
 	}
-	for _, ev := range c.Events {
+	for _, ev := range c.snapshot() {
 		if ev.Rank < 0 || ev.Rank >= p {
 			continue
 		}
@@ -76,9 +95,16 @@ func (c *Collector) Profiles(p int) []Profile {
 }
 
 // Critical returns the profile of the last-finishing rank — the rank
-// that defines the operation's latency.
+// that defines the operation's latency. For p <= 0 it returns an empty
+// profile instead of panicking.
 func (c *Collector) Critical(p int) Profile {
 	profiles := c.Profiles(p)
+	if len(profiles) == 0 {
+		return Profile{
+			Total: make(map[cluster.TraceKind]float64),
+			Bytes: make(map[cluster.TraceKind]int64),
+		}
+	}
 	best := profiles[0]
 	for _, pr := range profiles[1:] {
 		if pr.End > best.End {
@@ -91,7 +117,7 @@ func (c *Collector) Critical(p int) Profile {
 // Aggregate sums category times across all ranks.
 func (c *Collector) Aggregate() map[cluster.TraceKind]float64 {
 	agg := make(map[cluster.TraceKind]float64)
-	for _, ev := range c.Events {
+	for _, ev := range c.snapshot() {
 		agg[ev.Kind] += ev.End - ev.Start
 	}
 	return agg
@@ -136,8 +162,9 @@ func (c *Collector) Gantt(w io.Writer, p int, width int) error {
 	if width <= 0 {
 		width = 80
 	}
+	events := c.snapshot()
 	var horizon float64
-	for _, ev := range c.Events {
+	for _, ev := range events {
 		if ev.End > horizon {
 			horizon = ev.End
 		}
@@ -161,12 +188,15 @@ func (c *Collector) Gantt(w io.Writer, p int, width int) error {
 		rows[r] = make([]bucketAcc, width)
 	}
 	bucketDur := horizon / float64(width)
-	for _, ev := range c.Events {
+	for _, ev := range events {
 		if ev.Rank < 0 || ev.Rank >= p {
 			continue
 		}
 		b0 := int(ev.Start / bucketDur)
 		b1 := int(ev.End / bucketDur)
+		if b0 >= width {
+			b0 = width - 1
+		}
 		if b1 >= width {
 			b1 = width - 1
 		}
@@ -213,7 +243,7 @@ func (c *Collector) Gantt(w io.Writer, p int, width int) error {
 // SortedByStart returns the events ordered by (start, rank) — useful for
 // deterministic assertions in tests.
 func (c *Collector) SortedByStart() []cluster.TraceEvent {
-	evs := append([]cluster.TraceEvent(nil), c.Events...)
+	evs := append([]cluster.TraceEvent(nil), c.snapshot()...)
 	sort.SliceStable(evs, func(i, j int) bool {
 		if evs[i].Start != evs[j].Start {
 			return evs[i].Start < evs[j].Start

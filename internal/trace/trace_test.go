@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 
 	"encag/internal/cluster"
@@ -120,6 +121,83 @@ func TestEmptyTrace(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "empty") {
 		t.Fatal("empty trace should say so")
+	}
+}
+
+// Critical on an empty world (p=0) must return an empty profile, not
+// panic — a caller summarising before any events exist hits this.
+func TestCriticalEmptyWorld(t *testing.T) {
+	col := &Collector{}
+	pr := col.Critical(0)
+	if pr.Sum() != 0 || pr.End != 0 {
+		t.Fatalf("empty-world critical profile not empty: %+v", pr)
+	}
+	// Same for a populated collector asked about zero ranks.
+	col.Record(cluster.TraceEvent{Rank: 0, Kind: cluster.TraceSend, Start: 0, End: 1})
+	pr = col.Critical(0)
+	if pr.Sum() != 0 {
+		t.Fatalf("p=0 critical profile not empty: %+v", pr)
+	}
+}
+
+// An event ending exactly at the horizon must land in the last bucket,
+// not be dropped or indexed out of range.
+func TestGanttEventEndingAtHorizon(t *testing.T) {
+	col := &Collector{Events: []cluster.TraceEvent{
+		{Rank: 0, Kind: cluster.TraceSend, Start: 0, End: 1},
+		// This event defines the horizon and ends exactly on it.
+		{Rank: 1, Kind: cluster.TraceDecrypt, Start: 9, End: 10},
+	}}
+	var buf bytes.Buffer
+	if err := col.Gantt(&buf, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	row1 := lines[2] // header, rank 0, rank 1
+	bar := row1[strings.Index(row1, "|")+1 : strings.LastIndex(row1, "|")]
+	if bar[len(bar)-1] != 'D' {
+		t.Fatalf("last bucket should show the decrypt ending at the horizon: %q", bar)
+	}
+	// A zero-duration event exactly at the horizon must not panic either.
+	col.Record(cluster.TraceEvent{Rank: 0, Kind: cluster.TraceCopy, Start: 10, End: 10})
+	buf.Reset()
+	if err := col.Gantt(&buf, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Record must be safe under concurrent use: the real and TCP engines
+// call it from p rank goroutines. Run with -race.
+func TestConcurrentRecord(t *testing.T) {
+	col := &Collector{}
+	const ranks, per = 8, 200
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				col.Record(cluster.TraceEvent{
+					Rank: r, Kind: cluster.TraceKind(i % 6),
+					Start: float64(i), End: float64(i) + 0.5, Bytes: int64(i),
+				})
+			}
+		}()
+	}
+	// Concurrent reader: analysis methods must be safe against in-flight
+	// Record calls.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			col.Profiles(ranks)
+			col.Aggregate()
+		}
+	}()
+	wg.Wait()
+	if got := len(col.SortedByStart()); got != ranks*per {
+		t.Fatalf("recorded %d events, want %d", got, ranks*per)
 	}
 }
 
