@@ -52,9 +52,21 @@ func main() {
 	iters := flag.Int("iters", 10, "iterations per configuration")
 	warmup := flag.Int("warmup", 2, "warm-up iterations (not timed)")
 	asCSV := flag.Bool("csv", false, "emit CSV")
+	cryptoWorkers := flag.Int("crypto-workers", 0, "AES-GCM worker pool size (0 = shared GOMAXPROCS pool)")
+	segmentStr := flag.String("segment-size", "", "AES-GCM segmentation split size, e.g. 64KB (empty = default)")
 	flag.Parse()
 
-	spec := encag.Spec{Procs: *p, Nodes: *nodes, Mapping: *mapping}
+	var segSize int64
+	if *segmentStr != "" {
+		v, err := bench.ParseSize(*segmentStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		segSize = v
+	}
+	spec := encag.Spec{Procs: *p, Nodes: *nodes, Mapping: *mapping,
+		CryptoWorkers: *cryptoWorkers, SegmentSize: segSize}
 	var sizes []int64
 	for _, s := range strings.Split(*sizesStr, ",") {
 		v, err := bench.ParseSize(s)

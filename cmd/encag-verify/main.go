@@ -23,6 +23,8 @@ func main() {
 	sizeList := flag.String("sizes", "1,17,256,4096", "comma-separated message sizes in bytes")
 	verbose := flag.Bool("v", false, "print every case")
 	overTCP := flag.Bool("tcp", false, "also run each algorithm over loopback TCP with wire sniffing")
+	cryptoWorkers := flag.Int("crypto-workers", 0, "AES-GCM worker pool size (0 = shared GOMAXPROCS pool)")
+	segSize := flag.Int64("segment-size", 0, "AES-GCM segmentation split size in bytes (0 = 64 KiB default); small values force multi-segment seals")
 	flag.Parse()
 
 	var sizes []int64
@@ -48,6 +50,11 @@ func main() {
 		{Procs: 32, Nodes: 8},
 		{Procs: 12, Nodes: 4, Mapping: "custom",
 			Custom: []int{2, 0, 3, 1, 1, 3, 0, 2, 3, 2, 1, 0}},
+	}
+
+	for i := range specs {
+		specs[i].CryptoWorkers = *cryptoWorkers
+		specs[i].SegmentSize = *segSize
 	}
 
 	start := time.Now()

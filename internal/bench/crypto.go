@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"encag/internal/seal"
+)
+
+// sizesCrypto spans the segmentation-relevant range: below the 64 KiB
+// default split (where segmented == serial plus framing) up to 2 MB
+// (32 segments, the parallel regime).
+var sizesCrypto = sizes("4KB", "16KB", "64KB", "256KB", "1MB", "2MB")
+
+// Crypto measures the serial AES-GCM path against the segmented
+// parallel path on this host, for both seal and open. It is the source
+// of BENCH_crypto.json: speedup columns > 1 mean the worker pool is
+// paying for its coordination overhead at that size.
+func Crypto(opts Options) ([]Table, error) {
+	slr, err := seal.NewRandomSealer()
+	if err != nil {
+		return nil, err
+	}
+	workers := runtime.GOMAXPROCS(0)
+	t := Table{
+		ID:    "crypto",
+		Title: "Serial vs segmented-parallel AES-GCM (MB/s, this host)",
+		YUnit: "throughput (MB/s)",
+		Headers: []string{"size", "segments", "workers", "seal-serial", "seal-seg",
+			"seal-speedup", "open-serial", "open-seg", "open-speedup"},
+		Notes: []string{
+			fmt.Sprintf("segment size %d B, worker pool %d (GOMAXPROCS); speedups ~1x are expected on single-core hosts",
+				slr.SegmentSize(), workers),
+			"segmented columns include framing: 8B header + 4B length and 28B GCM overhead per segment",
+		},
+	}
+	for _, m := range trimSizes(sizesCrypto, opts) {
+		row, err := cryptoRow(slr, m, workers)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}
+
+// cryptoRow measures one message size through both paths.
+func cryptoRow(slr *seal.Sealer, m int64, workers int) ([]string, error) {
+	buf := make([]byte, m)
+	for i := range buf {
+		buf[i] = byte(i * 131)
+	}
+	aad := []byte("bench-crypto")
+	iters := benchIters(m)
+
+	serSeal, serOpen, err := timeSerial(slr, buf, aad, iters)
+	if err != nil {
+		return nil, err
+	}
+	segSeal, segOpen, segs, err := timeSegmented(slr, buf, aad, iters)
+	if err != nil {
+		return nil, err
+	}
+	return []string{
+		SizeName(m),
+		fmt.Sprintf("%d", segs),
+		fmt.Sprintf("%d", workers),
+		fmt.Sprintf("%.4g", serSeal),
+		fmt.Sprintf("%.4g", segSeal),
+		fmt.Sprintf("%.3g", segSeal/serSeal),
+		fmt.Sprintf("%.4g", serOpen),
+		fmt.Sprintf("%.4g", segOpen),
+		fmt.Sprintf("%.3g", segOpen/serOpen),
+	}, nil
+}
+
+// benchIters bounds total work to ~32 MB per measured loop.
+func benchIters(m int64) int {
+	iters := int((32 << 20) / (m + 1))
+	if iters < 4 {
+		return 4
+	}
+	if iters > 2048 {
+		return 2048
+	}
+	return iters
+}
+
+func timeSerial(slr *seal.Sealer, buf, aad []byte, iters int) (sealMBps, openMBps float64, err error) {
+	m := float64(len(buf))
+	blobs := make([][]byte, iters)
+	start := time.Now()
+	for i := range blobs {
+		if blobs[i], err = slr.Seal(buf, aad); err != nil {
+			return 0, 0, err
+		}
+	}
+	sealMBps = m * float64(iters) / time.Since(start).Seconds() / 1e6
+	start = time.Now()
+	for i := range blobs {
+		if _, err = slr.Open(blobs[i], aad); err != nil {
+			return 0, 0, err
+		}
+	}
+	openMBps = m * float64(iters) / time.Since(start).Seconds() / 1e6
+	return sealMBps, openMBps, nil
+}
+
+func timeSegmented(slr *seal.Sealer, buf, aad []byte, iters int) (sealMBps, openMBps float64, segs int, err error) {
+	m := float64(len(buf))
+	parts := [][]byte{buf}
+	blobs := make([][]byte, iters)
+	start := time.Now()
+	for i := range blobs {
+		if blobs[i], segs, err = slr.SealSegmented(parts, aad); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	sealMBps = m * float64(iters) / time.Since(start).Seconds() / 1e6
+	start = time.Now()
+	for i := range blobs {
+		if _, _, err = slr.OpenSegmented(blobs[i], aad); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	openMBps = m * float64(iters) / time.Since(start).Seconds() / 1e6
+	return sealMBps, openMBps, segs, nil
+}

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"encag/internal/seal"
+)
+
+// The Sealer benchmarks compare the three generations of the crypto
+// path at the sizes the all-gather engines actually seal:
+//
+//	SealerGatherSeal    — the pre-segmentation engine path: copy the
+//	                      chunk payloads into a staging buffer, then
+//	                      Seal copies again into a fresh blob.
+//	SealerSeal/Open     — one monolithic GCM call, no staging buffer.
+//	SealerSealSegmented — segmented framing, in-place gather, worker
+//	                      pool fan-out. BenchmarkSealerSealSegmented at
+//	                      1MB vs BenchmarkSealerSeal is the headline
+//	                      speedup number (>= 2x on multi-core hosts).
+//
+// Run with: go test -bench Sealer -benchmem ./internal/bench
+
+var benchSizes = []int64{4 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20}
+
+func benchSealer(b *testing.B) *seal.Sealer {
+	b.Helper()
+	slr, err := seal.NewRandomSealer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return slr
+}
+
+func benchPlain(m int64) []byte {
+	buf := make([]byte, m)
+	for i := range buf {
+		buf[i] = byte(i * 197)
+	}
+	return buf
+}
+
+func BenchmarkSealerSeal(b *testing.B) {
+	for _, m := range benchSizes {
+		b.Run(SizeName(m), func(b *testing.B) {
+			slr := benchSealer(b)
+			pt := benchPlain(m)
+			b.SetBytes(m)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := slr.Seal(pt, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSealerSealSegmented(b *testing.B) {
+	for _, m := range benchSizes {
+		b.Run(SizeName(m), func(b *testing.B) {
+			slr := benchSealer(b)
+			parts := [][]byte{benchPlain(m)}
+			b.SetBytes(m)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := slr.SealSegmented(parts, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSealerGatherSeal reproduces the engine path this PR removed:
+// gather chunk payloads into a staging buffer, then Seal copies them
+// again. Its allocs/op column is the double-copy cost.
+func BenchmarkSealerGatherSeal(b *testing.B) {
+	for _, m := range benchSizes {
+		b.Run(SizeName(m), func(b *testing.B) {
+			slr := benchSealer(b)
+			// Four chunk payloads, as an all-gather step would carry.
+			q := m / 4
+			parts := [][]byte{benchPlain(q), benchPlain(q), benchPlain(q), benchPlain(m - 3*q)}
+			b.SetBytes(m)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				staging := make([]byte, 0, m)
+				for _, p := range parts {
+					staging = append(staging, p...)
+				}
+				if _, err := slr.Seal(staging, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSealerOpen(b *testing.B) {
+	for _, m := range benchSizes {
+		b.Run(SizeName(m), func(b *testing.B) {
+			slr := benchSealer(b)
+			blob, err := slr.Seal(benchPlain(m), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(m)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := slr.Open(blob, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSealerOpenSegmented(b *testing.B) {
+	for _, m := range benchSizes {
+		b.Run(SizeName(m), func(b *testing.B) {
+			slr := benchSealer(b)
+			blob, _, err := slr.SealSegmented([][]byte{benchPlain(m)}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(m)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := slr.OpenSegmented(blob, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// The crypto experiment itself must produce a well-formed table in
+// quick mode — it seeds BENCH_crypto.json.
+func TestCryptoExperimentQuick(t *testing.T) {
+	tables, err := Crypto(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ID != "crypto" {
+		t.Fatalf("tables = %+v", tables)
+	}
+	tb := tables[0]
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tb.Rows {
+		if len(row) != len(tb.Headers) {
+			t.Fatalf("row %v does not match headers %v", row, tb.Headers)
+		}
+	}
+	// Sanity: the registry resolves it.
+	if _, err := Get("crypto"); err != nil {
+		t.Fatal(err)
+	}
+	_ = fmt.Sprintf("%v", tb)
+}

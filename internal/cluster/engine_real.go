@@ -326,6 +326,8 @@ func runReal(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, adv Ad
 	if err != nil {
 		return nil, err
 	}
+	slr.SetSegmentSize(int(spec.SegmentSize))
+	slr.SetWorkers(spec.CryptoWorkers)
 	slr.EnableNonceAudit()
 	e := &realEngine{
 		spec:      spec,

@@ -239,6 +239,8 @@ func RunTCPTraced(spec Spec, msgSize int64, algo Algorithm, tracer Tracer) (*TCP
 	if err != nil {
 		return nil, err
 	}
+	slr.SetSegmentSize(int(spec.SegmentSize))
+	slr.SetWorkers(spec.CryptoWorkers)
 	slr.EnableNonceAudit()
 	e := &tcpEngine{
 		spec:    spec,

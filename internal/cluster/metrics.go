@@ -8,10 +8,18 @@ type Metrics struct {
 	CommRounds int   // rounds of communication this rank participated in
 	BytesSent  int64 // wire bytes sent
 	BytesRecv  int64 // wire bytes received
-	EncRounds  int   // GCM Seal calls
+	EncRounds  int   // logical encryptions (one per Encrypt call)
 	EncBytes   int64 // plaintext bytes sealed
-	DecRounds  int   // GCM Open calls
+	DecRounds  int   // logical decryptions (one per Decrypt call)
 	DecBytes   int64 // plaintext bytes opened
+
+	// EncSegments / DecSegments count the GCM segments the segmented
+	// crypto engine processed. One logical Encrypt is still one
+	// encryption round (the paper's r_e), but above the segment size it
+	// fans out into multiple GCM calls that run in parallel; these
+	// counters expose that fan-out. In sim mode they stay zero.
+	EncSegments int
+	DecSegments int
 	Copies     int   // explicit local copies
 	CopyBytes  int64 // bytes copied locally
 

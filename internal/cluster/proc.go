@@ -172,9 +172,39 @@ func (p *Proc) SendRecv(dst int, out block.Message, src int) block.Message {
 	return msgs[1]
 }
 
-// Encrypt seals the given plaintext chunks into a single ciphertext chunk
-// (one GCM call: one encryption round covering their total plaintext
-// bytes). All input chunks must be plaintext.
+// gatherPayloads concatenates the chunks' payloads into one buffer —
+// the plaintext-merge used by plain-mode Encrypt. The encrypted path
+// avoids this copy entirely: the sealer gathers the payload slices
+// directly into the output blob.
+func gatherPayloads(chunks []block.Chunk, plainLen int64) []byte {
+	pt := make([]byte, 0, plainLen)
+	for _, c := range chunks {
+		pt = append(pt, c.Payload...)
+	}
+	return pt
+}
+
+// payloadSlices collects the chunks' payload slices for the sealer's
+// zero-copy gather, panicking on any chunk without real bytes.
+func payloadSlices(chunks []block.Chunk) [][]byte {
+	parts := make([][]byte, len(chunks))
+	for i, c := range chunks {
+		if c.Payload == nil {
+			panic("cluster: real-mode Encrypt given a chunk without payload")
+		}
+		parts[i] = c.Payload
+	}
+	return parts
+}
+
+// Encrypt seals the given plaintext chunks into a single ciphertext
+// chunk: one encryption round covering their total plaintext bytes. All
+// input chunks must be plaintext. In the real engines the seal is
+// segmented — payloads at or above the configured segment size are split
+// into independently sealed GCM segments processed concurrently on the
+// crypto worker pool, authenticated together as one unit — but a logical
+// Encrypt still counts as a single encryption round (the paper's r_e);
+// the fan-out is reported separately in Metrics.EncSegments.
 func (p *Proc) Encrypt(chunks ...block.Chunk) block.Chunk {
 	var blocks []block.Block
 	var plainLen int64
@@ -192,11 +222,7 @@ func (p *Proc) Encrypt(chunks ...block.Chunk) block.Chunk {
 			out.Tag = chunks[0].Tag
 		}
 		if p.eng.sealer() != nil {
-			pt := make([]byte, 0, plainLen)
-			for _, c := range chunks {
-				pt = append(pt, c.Payload...)
-			}
-			out.Payload = pt
+			out.Payload = gatherPayloads(chunks, plainLen)
 		}
 		return out
 	}
@@ -205,25 +231,21 @@ func (p *Proc) Encrypt(chunks ...block.Chunk) block.Chunk {
 	done := p.eng.span(p, TraceEncrypt, plainLen)
 	out := block.Chunk{Enc: true, Blocks: blocks}
 	if s := p.eng.sealer(); s != nil {
-		pt := make([]byte, 0, plainLen)
-		for _, c := range chunks {
-			if c.Payload == nil {
-				panic("cluster: real-mode Encrypt given a chunk without payload")
-			}
-			pt = append(pt, c.Payload...)
-		}
-		blob, err := s.Seal(pt, block.EncodeHeader(blocks))
+		blob, segs, err := s.SealSegmented(payloadSlices(chunks), block.EncodeHeader(blocks))
 		if err != nil {
 			panic(fmt.Sprintf("cluster: seal failed: %v", err))
 		}
+		p.met.EncSegments += segs
 		out.Payload = blob
 	}
 	done()
 	return out
 }
 
-// Decrypt opens one ciphertext chunk (one GCM call: one decryption round
-// covering its plaintext bytes) and returns the plaintext chunk.
+// Decrypt opens one ciphertext chunk (one decryption round covering its
+// plaintext bytes) and returns the plaintext chunk. Multi-segment blobs
+// are verified and decrypted concurrently; all segments must
+// authenticate or the whole open fails.
 func (p *Proc) Decrypt(c block.Chunk) block.Chunk {
 	if !c.Enc {
 		panic("cluster: Decrypt given a plaintext chunk")
@@ -237,10 +259,11 @@ func (p *Proc) Decrypt(c block.Chunk) block.Chunk {
 		if c.Payload == nil {
 			panic("cluster: real-mode Decrypt given a chunk without payload")
 		}
-		pt, err := s.Open(c.Payload, block.EncodeHeader(c.Blocks))
+		pt, segs, err := s.OpenSegmented(c.Payload, block.EncodeHeader(c.Blocks))
 		if err != nil {
 			panic(fmt.Sprintf("cluster: open failed at rank %d: %v", p.rank, err))
 		}
+		p.met.DecSegments += segs
 		out.Payload = pt
 	}
 	done()

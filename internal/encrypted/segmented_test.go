@@ -1,0 +1,163 @@
+package encrypted
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"encag/internal/block"
+	"encag/internal/cluster"
+	"encag/internal/seal"
+)
+
+// With a segment size far below the message size, every seal fans out
+// into multiple GCM segments. All eight paper algorithms must still be
+// byte-correct, leak no plaintext across node boundaries, and never
+// reuse a nonce — the acceptance bar for the segmented crypto engine.
+func TestAllEncryptedSecureWithSegmentation(t *testing.T) {
+	const m = 1 << 12 // 4 KiB blocks, 256 B segments: >= 16 segments per block
+	specs := []cluster.Spec{
+		{P: 8, N: 2, Mapping: cluster.BlockMapping, SegmentSize: 256, CryptoWorkers: 4},
+		{P: 8, N: 4, Mapping: cluster.CyclicMapping, SegmentSize: 256, CryptoWorkers: 2},
+	}
+	for _, spec := range specs {
+		for _, name := range PaperNames() {
+			alg, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := cluster.RunReal(spec, m, alg)
+			if err != nil {
+				t.Fatalf("%s on %v: %v", name, spec, err)
+			}
+			if err := cluster.ValidateGather(spec, m, res.Results, true); err != nil {
+				t.Fatalf("%s on %v: %v", name, spec, err)
+			}
+			if !res.Audit.Clean() {
+				t.Fatalf("%s on %v leaked plaintext across nodes: %v", name, spec, res.Audit.Violations)
+			}
+			if res.Sealer.DuplicateNonceSeen() {
+				t.Fatalf("%s on %v: GCM nonce reuse under segmentation", name, spec)
+			}
+			var segs int
+			for r, pm := range res.PerRank {
+				segs += pm.EncSegments
+				if pm.EncSegments < pm.EncRounds {
+					t.Fatalf("%s on %v rank %d: EncSegments %d < EncRounds %d",
+						name, spec, r, pm.EncSegments, pm.EncRounds)
+				}
+				if pm.DecSegments < pm.DecRounds {
+					t.Fatalf("%s on %v rank %d: DecSegments %d < DecRounds %d",
+						name, spec, r, pm.DecSegments, pm.DecRounds)
+				}
+			}
+			if segs == 0 {
+				t.Fatalf("%s on %v: no segments counted", name, spec)
+			}
+		}
+	}
+}
+
+// A single 4 KiB block sealed with 1 KiB segments must fan out into
+// exactly 4 GCM segments while still counting one encryption round —
+// the paper's r_e semantics are unchanged by segmentation.
+func TestSegmentationKeepsRoundSemantics(t *testing.T) {
+	spec := cluster.Spec{P: 2, N: 2, Mapping: cluster.BlockMapping, SegmentSize: 1 << 10, CryptoWorkers: 2}
+	const m = 4 << 10
+	alg, err := Get("naive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.RunReal(spec, m, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, pm := range res.PerRank {
+		if pm.EncRounds != 1 {
+			t.Fatalf("rank %d: EncRounds = %d, want 1", r, pm.EncRounds)
+		}
+		if pm.EncSegments != 4 {
+			t.Fatalf("rank %d: EncSegments = %d, want 4 (m=%d, segment=%d)",
+				r, pm.EncSegments, m, spec.SegmentSize)
+		}
+		wantDecSegs := pm.DecRounds * 4
+		if pm.DecSegments != wantDecSegs {
+			t.Fatalf("rank %d: DecSegments = %d, want %d", r, pm.DecSegments, wantDecSegs)
+		}
+	}
+	sealed, opened := res.Sealer.Counts()
+	if sealed == 0 || opened == 0 {
+		t.Fatalf("sealer counts sealed=%d opened=%d", sealed, opened)
+	}
+}
+
+// The wire eavesdropper's view stays ciphertext-only when segmentation
+// splits every sealed payload on real TCP sockets.
+func TestSegmentedTCPWireClean(t *testing.T) {
+	spec := cluster.Spec{P: 4, N: 2, Mapping: cluster.BlockMapping, SegmentSize: 512, CryptoWorkers: 2}
+	const m = 2048
+	alg, err := Get("c-ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.RunTCP(spec, m, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.ValidateGather(spec, m, res.Results, true); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Audit.Clean() {
+		t.Fatalf("audit violations: %v", res.Audit.Violations)
+	}
+	if res.Sealer.DuplicateNonceSeen() {
+		t.Fatal("nonce reuse over TCP with segmentation")
+	}
+	for r := 0; r < spec.P; r++ {
+		if res.Sniffer.Contains(block.FillPattern(r, m)) {
+			t.Fatalf("rank %d plaintext visible on the wire", r)
+		}
+	}
+	// Segmented framing costs wire bytes: the sniffer must have seen at
+	// least the logical inter-node volume.
+	if res.Sniffer.Total() == 0 {
+		t.Fatal("sniffer saw no inter-node bytes")
+	}
+}
+
+// Tampering with a single segment of a multi-segment ciphertext in
+// flight must abort the collective: segmented blobs authenticate as a
+// unit.
+func TestSegmentedTamperDetectedEndToEnd(t *testing.T) {
+	spec := cluster.Spec{P: 4, N: 2, Mapping: cluster.BlockMapping, SegmentSize: 256, CryptoWorkers: 2}
+	const m = 1024
+	alg, err := Get("naive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tampered atomic.Int64
+	adv := func(src, dst int, msg block.Message) block.Message {
+		if tampered.Load() > 0 {
+			return msg
+		}
+		out := msg.Clone()
+		for i, c := range out.Chunks {
+			if c.Enc && len(c.Payload) > seal.Overhead+16 {
+				// Flip a byte in the middle of the blob: inside some
+				// segment's ciphertext, past the framing header.
+				p := append([]byte(nil), c.Payload...)
+				p[len(p)/2] ^= 0x01
+				out.Chunks[i].Payload = p
+				tampered.Add(1)
+				break
+			}
+		}
+		return out
+	}
+	_, err = cluster.RunRealAdversarial(spec, m, alg, adv)
+	if tampered.Load() == 0 {
+		t.Fatal("adversary never saw a ciphertext to tamper with")
+	}
+	if err == nil {
+		t.Fatal("tampered segment went undetected")
+	}
+}

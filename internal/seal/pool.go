@@ -1,0 +1,188 @@
+package seal
+
+import (
+	"crypto/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is a bounded crypto worker pool. Segmented seal/open operations
+// from any number of Sealers (and rank goroutines) share its workers, so
+// total crypto parallelism stays capped at the pool size no matter how
+// many collectives run concurrently. Workers start on demand and exit
+// after an idle period, so an unused pool costs nothing.
+//
+// The caller of Run always participates in the work itself: progress
+// never depends on a worker being free, so a saturated pool degrades to
+// serial execution instead of blocking.
+type Pool struct {
+	size  int
+	tasks chan func()
+
+	mu      sync.Mutex
+	workers int
+}
+
+// poolIdleTimeout is how long an idle worker waits for more work before
+// exiting.
+const poolIdleTimeout = time.Second
+
+// NewPool creates a pool with the given worker cap; size <= 0 selects
+// GOMAXPROCS, matching the cores available to the process.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{size: size, tasks: make(chan func())}
+}
+
+// Size returns the worker cap.
+func (p *Pool) Size() int { return p.size }
+
+var (
+	sharedPoolOnce sync.Once
+	sharedPoolVal  *Pool
+)
+
+// SharedPool returns the process-wide default pool, sized by GOMAXPROCS.
+func SharedPool() *Pool {
+	sharedPoolOnce.Do(func() { sharedPoolVal = NewPool(0) })
+	return sharedPoolVal
+}
+
+// offer hands fn to an idle worker, starting one if the pool is under
+// its cap. It reports false when the pool is saturated; the caller then
+// absorbs the work through its own Run loop.
+func (p *Pool) offer(fn func()) bool {
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+	}
+	p.mu.Lock()
+	if p.workers >= p.size {
+		p.mu.Unlock()
+		// One more non-blocking attempt in case a worker just freed up.
+		select {
+		case p.tasks <- fn:
+			return true
+		default:
+			return false
+		}
+	}
+	p.workers++
+	p.mu.Unlock()
+	go p.work(fn)
+	return true
+}
+
+func (p *Pool) work(fn func()) {
+	timer := time.NewTimer(poolIdleTimeout)
+	defer timer.Stop()
+	for {
+		fn()
+		if !timer.Stop() {
+			<-timer.C
+		}
+		timer.Reset(poolIdleTimeout)
+		select {
+		case fn = <-p.tasks:
+		case <-timer.C:
+			p.mu.Lock()
+			p.workers--
+			p.mu.Unlock()
+			return
+		}
+	}
+}
+
+// Run executes fn(0) .. fn(n-1), distributing the indices over the
+// calling goroutine plus up to Size pool workers, and returns when all
+// have completed. Order is unspecified; fn must be safe for concurrent
+// invocation on distinct indices.
+func (p *Pool) Run(n int, fn func(int)) {
+	if n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	loop := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	helpers := n - 1
+	if helpers > p.size {
+		helpers = p.size
+	}
+	for h := 0; h < helpers; h++ {
+		wg.Add(1)
+		ok := p.offer(func() {
+			defer wg.Done()
+			loop()
+		})
+		if !ok {
+			wg.Done()
+			break
+		}
+	}
+	loop()
+	wg.Wait()
+}
+
+// bufPool recycles scratch buffers for the segmented hot path (the
+// per-segment AAD assemblies), so steady-state sealing allocates only
+// the output blob.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getBuf returns a scratch buffer of length n (contents undefined).
+func getBuf(n int) *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// putBuf returns a scratch buffer to the pool.
+func putBuf(bp *[]byte) { bufPool.Put(bp) }
+
+// nonceBatch is how many nonces one crypto/rand read buys.
+const nonceBatch = 256
+
+// nonceSource amortizes nonce generation: crypto/rand is read in batches
+// of nonceBatch nonces under a lock instead of one kernel round trip per
+// seal. The buffered bytes are plain CSPRNG output held in process
+// memory — the same trust domain as the session key itself.
+type nonceSource struct {
+	mu  sync.Mutex
+	buf [nonceBatch * NonceSize]byte
+	off int
+}
+
+var nonces = &nonceSource{off: nonceBatch * NonceSize}
+
+func (ns *nonceSource) next(dst *[NonceSize]byte) error {
+	ns.mu.Lock()
+	if ns.off == len(ns.buf) {
+		if _, err := rand.Read(ns.buf[:]); err != nil {
+			ns.mu.Unlock()
+			return err
+		}
+		ns.off = 0
+	}
+	copy(dst[:], ns.buf[ns.off:ns.off+NonceSize])
+	ns.off += NonceSize
+	ns.mu.Unlock()
+	return nil
+}

@@ -8,6 +8,12 @@
 // as the paper notes. Nonces are chosen uniformly at random (the paper:
 // "we pick nonces at random, which is standard-compliant").
 //
+// For large payloads the package also offers a segmented framing
+// (SealSegmented/OpenSegmented) that splits a plaintext into
+// independently sealed segments processed concurrently on a bounded
+// worker pool — the multi-threaded pipelined encryption CryptMPI uses to
+// lift the single-core GCM throughput ceiling.
+//
 // A Sealer also keeps an optional audit trail of nonces so tests can prove
 // nonce uniqueness across an entire all-gather operation.
 package seal
@@ -19,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 const (
@@ -37,16 +44,24 @@ var ErrAuth = errors.New("seal: message authentication failed")
 
 // Sealer encrypts and decrypts with a single shared AES-GCM-128 key, the
 // deployment model of the paper (one key per MPI job, distributed out of
-// band). It is safe for concurrent use.
+// band). It is safe for concurrent use. Configuration (SetSegmentSize,
+// SetWorkers, EnableNonceAudit) must happen before concurrent use.
 type Sealer struct {
 	aead cipher.AEAD
 
-	mu     sync.Mutex
-	audit  bool
-	nonces map[[NonceSize]byte]struct{}
-	dup    bool
-	sealed int64 // number of Seal calls
-	opened int64 // number of successful Open calls
+	sealed atomic.Int64 // number of GCM seal operations
+	opened atomic.Int64 // number of successful GCM open operations
+
+	segSize int   // segmented-seal split size; 0 means DefaultSegmentSize
+	pool    *Pool // worker pool for segmented crypto; nil means the shared pool
+
+	// The audit trail is mutex-guarded, but the hot path only pays for it
+	// when enabled: auditOn is checked first, so unaudited seals touch
+	// nothing but the atomic counters.
+	auditOn atomic.Bool
+	mu      sync.Mutex
+	nonces  map[[NonceSize]byte]struct{}
+	dup     bool
 }
 
 // NewSealer creates a Sealer from a 16-byte AES-128 key.
@@ -79,10 +94,10 @@ func NewRandomSealer() (*Sealer, error) {
 func (s *Sealer) EnableNonceAudit() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.audit = true
 	if s.nonces == nil {
 		s.nonces = make(map[[NonceSize]byte]struct{})
 	}
+	s.auditOn.Store(true)
 }
 
 // DuplicateNonceSeen reports whether any nonce was used twice while the
@@ -93,54 +108,80 @@ func (s *Sealer) DuplicateNonceSeen() bool {
 	return s.dup
 }
 
-// Counts returns the number of Seal calls and successful Open calls.
+// Counts returns the number of GCM seal operations and successful GCM
+// open operations (a segmented blob counts one per segment).
 func (s *Sealer) Counts() (sealed, opened int64) {
+	return s.sealed.Load(), s.opened.Load()
+}
+
+// noteSeal accounts one seal operation. The mutex is only taken when the
+// nonce audit is enabled; the default path is a single atomic add.
+func (s *Sealer) noteSeal(nonce *[NonceSize]byte) {
+	s.sealed.Add(1)
+	if !s.auditOn.Load() {
+		return
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sealed, s.opened
+	if _, ok := s.nonces[*nonce]; ok {
+		s.dup = true
+	}
+	s.nonces[*nonce] = struct{}{}
+	s.mu.Unlock()
+}
+
+// sealInto seals plaintext into out, which must be exactly
+// SealedLen(len(plaintext)) bytes. plaintext may alias
+// out[NonceSize:NonceSize+len(plaintext)] exactly, enabling in-place
+// encryption of a pre-gathered buffer (one buffer, one copy).
+func (s *Sealer) sealInto(out, plaintext, aad []byte) error {
+	var nonce [NonceSize]byte
+	if err := nonces.next(&nonce); err != nil {
+		return err
+	}
+	s.noteSeal(&nonce)
+	copy(out[:NonceSize], nonce[:])
+	s.aead.Seal(out[NonceSize:NonceSize], nonce[:], plaintext, aad)
+	return nil
+}
+
+// openInto authenticates and decrypts blob (nonce||ct||tag) into dst,
+// which must be empty with capacity PlainLen(len(blob)). dst must not
+// alias blob.
+func (s *Sealer) openInto(dst, blob, aad []byte) error {
+	if len(blob) < Overhead {
+		return fmt.Errorf("seal: blob too short: %d bytes", len(blob))
+	}
+	if _, err := s.aead.Open(dst, blob[:NonceSize], blob[NonceSize:], aad); err != nil {
+		return ErrAuth
+	}
+	s.opened.Add(1)
+	return nil
 }
 
 // Seal encrypts plaintext, binding aad (additional authenticated data,
 // e.g. the block-layout header). The result is nonce||ciphertext||tag.
 func (s *Sealer) Seal(plaintext, aad []byte) ([]byte, error) {
-	var nonce [NonceSize]byte
-	if _, err := rand.Read(nonce[:]); err != nil {
+	out := make([]byte, SealedLen(len(plaintext)))
+	if err := s.sealInto(out, plaintext, aad); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.sealed++
-	if s.audit {
-		if _, ok := s.nonces[nonce]; ok {
-			s.dup = true
-		}
-		s.nonces[nonce] = struct{}{}
-	}
-	s.mu.Unlock()
-	out := make([]byte, NonceSize, NonceSize+len(plaintext)+TagSize)
-	copy(out, nonce[:])
-	return s.aead.Seal(out, nonce[:], plaintext, aad), nil
+	return out, nil
 }
 
 // Open authenticates and decrypts a blob produced by Seal with the same
 // aad. It returns ErrAuth if the blob or aad has been tampered with.
 func (s *Sealer) Open(blob, aad []byte) ([]byte, error) {
-	if len(blob) < Overhead {
+	n := PlainLen(len(blob))
+	if n < 0 {
 		return nil, fmt.Errorf("seal: blob too short: %d bytes", len(blob))
 	}
-	nonce := blob[:NonceSize]
-	pt, err := s.aead.Open(nil, nonce, blob[NonceSize:], aad)
-	if err != nil {
-		return nil, ErrAuth
+	// Allocate non-nil even for empty plaintext: callers use nil payloads
+	// to mean "simulation mode, no bytes".
+	pt := make([]byte, 0, n)
+	if err := s.openInto(pt, blob, aad); err != nil {
+		return nil, err
 	}
-	if pt == nil {
-		// Normalize the empty plaintext to a non-nil slice: callers use
-		// nil payloads to mean "simulation mode, no bytes".
-		pt = []byte{}
-	}
-	s.mu.Lock()
-	s.opened++
-	s.mu.Unlock()
-	return pt, nil
+	return pt[:n], nil
 }
 
 // SealedLen returns the sealed size of an n-byte plaintext.

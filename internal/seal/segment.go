@@ -1,0 +1,265 @@
+package seal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// The segmented framing splits one logical plaintext into k independently
+// sealed segments so the GCM work parallelizes across cores — the
+// CryptMPI technique for beating the single-core throughput ceiling —
+// while still authenticating as a single unit:
+//
+//	u32 magic "EAGS"
+//	u32 segment count k
+//	u32 plaintext length of each segment (k entries)
+//	k sealed segments, each nonce || ciphertext || tag
+//
+// Every segment's AAD is header || u32 segment index || caller AAD, so
+// tampering with the header (count or any length), reordering segments,
+// splicing segments between blobs, or altering the caller's AAD breaks
+// authentication of the whole blob, exactly as a single GCM call would.
+const (
+	segMagic = 0x45414753 // "EAGS"
+	// DefaultSegmentSize is the split size for segmented sealing:
+	// payloads at or above it are cut into DefaultSegmentSize pieces.
+	// 64 KiB segments keep per-segment overhead (28 B + 4 B header
+	// entry) under 0.05% while giving a 1 MiB payload 16-way
+	// parallelism.
+	DefaultSegmentSize = 64 << 10
+	// maxSegmentSize bounds a configured segment size (1 GiB) so
+	// per-segment lengths always fit the u32 header fields.
+	maxSegmentSize = 1 << 30
+	// maxSegmentCount bounds the segment count a decoder will accept
+	// before allocating.
+	maxSegmentCount = 1 << 20
+	// segHeaderFixed is the magic + count prefix of the header.
+	segHeaderFixed = 8
+)
+
+// SetSegmentSize configures the segmented-seal split size in bytes;
+// n <= 0 restores DefaultSegmentSize. Configure before concurrent use.
+func (s *Sealer) SetSegmentSize(n int) {
+	if n <= 0 {
+		n = DefaultSegmentSize
+	}
+	if n > maxSegmentSize {
+		n = maxSegmentSize
+	}
+	s.segSize = n
+}
+
+// SegmentSize returns the effective segmented-seal split size.
+func (s *Sealer) SegmentSize() int {
+	if s.segSize <= 0 {
+		return DefaultSegmentSize
+	}
+	return s.segSize
+}
+
+// SetWorkers bounds this Sealer's segmented-crypto parallelism with a
+// dedicated pool of n workers; n <= 0 restores the process-wide shared
+// pool (sized by GOMAXPROCS). Configure before concurrent use.
+func (s *Sealer) SetWorkers(n int) {
+	if n <= 0 {
+		s.pool = nil
+		return
+	}
+	s.pool = NewPool(n)
+}
+
+// workerPool returns the pool segmented operations run on.
+func (s *Sealer) workerPool() *Pool {
+	if s.pool != nil {
+		return s.pool
+	}
+	return SharedPool()
+}
+
+// SegmentCount returns how many segments an n-byte plaintext splits into
+// under the given segment size (every plaintext has at least one).
+func SegmentCount(n int64, segSize int) int {
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	if n <= int64(segSize) {
+		return 1
+	}
+	return int((n + int64(segSize) - 1) / int64(segSize))
+}
+
+// SegmentedLen returns the sealed size of an n-byte plaintext under the
+// segmented framing with the given segment size.
+func SegmentedLen(n int64, segSize int) int64 {
+	k := int64(SegmentCount(n, segSize))
+	return segHeaderFixed + 4*k + n + k*Overhead
+}
+
+// segLayout captures the regular geometry of a segmented blob: all
+// segments hold segSize plaintext bytes except the last.
+type segLayout struct {
+	total   int64
+	segSize int64
+	k       int
+	hdrLen  int
+}
+
+func (s *Sealer) layout(total int64) segLayout {
+	size := int64(s.SegmentSize())
+	k := SegmentCount(total, int(size))
+	return segLayout{total: total, segSize: size, k: k, hdrLen: segHeaderFixed + 4*k}
+}
+
+// plainLen returns segment i's plaintext length.
+func (l segLayout) plainLen(i int) int64 {
+	if i < l.k-1 {
+		return l.segSize
+	}
+	return l.total - int64(l.k-1)*l.segSize
+}
+
+// start returns the byte offset of segment i's sealed bytes in the blob.
+func (l segLayout) start(i int) int64 {
+	return int64(l.hdrLen) + int64(i)*(l.segSize+Overhead)
+}
+
+// segAAD assembles the AAD for segment i into a pooled scratch buffer:
+// header || u32 index || caller aad.
+func segAAD(header []byte, i int, aad []byte) *[]byte {
+	bp := getBuf(len(header) + 4 + len(aad))
+	buf := *bp
+	n := copy(buf, header)
+	binary.BigEndian.PutUint32(buf[n:], uint32(i))
+	copy(buf[n+4:], aad)
+	return bp
+}
+
+// SealSegmented seals the concatenation of parts under the segmented
+// framing, gathering the plaintext directly into the output blob and
+// encrypting each segment in place (no staging buffer, one copy total).
+// Segments at or above the configured segment size are processed
+// concurrently on the worker pool. It returns the blob and the number of
+// segments it holds.
+func (s *Sealer) SealSegmented(parts [][]byte, aad []byte) ([]byte, int, error) {
+	var total int64
+	for _, p := range parts {
+		total += int64(len(p))
+	}
+	l := s.layout(total)
+	out := make([]byte, SegmentedLen(total, int(l.segSize)))
+
+	// Header: magic, count, per-segment plaintext lengths.
+	binary.BigEndian.PutUint32(out[0:], segMagic)
+	binary.BigEndian.PutUint32(out[4:], uint32(l.k))
+	for i := 0; i < l.k; i++ {
+		binary.BigEndian.PutUint32(out[segHeaderFixed+4*i:], uint32(l.plainLen(i)))
+	}
+	header := out[:l.hdrLen]
+
+	// Gather the parts straight into each segment's plaintext slot.
+	seg, segOff := 0, int64(0)
+	for _, part := range parts {
+		for len(part) > 0 {
+			room := l.plainLen(seg) - segOff
+			n := int64(len(part))
+			if n > room {
+				n = room
+			}
+			dst := l.start(seg) + NonceSize + segOff
+			copy(out[dst:dst+n], part[:n])
+			part = part[n:]
+			segOff += n
+			if segOff == l.plainLen(seg) && seg < l.k-1 {
+				seg, segOff = seg+1, 0
+			}
+		}
+	}
+
+	var firstErr atomic.Pointer[error]
+	s.workerPool().Run(l.k, func(i int) {
+		n := l.plainLen(i)
+		off := l.start(i)
+		end := off + int64(SealedLen(int(n)))
+		ap := segAAD(header, i, aad)
+		err := s.sealInto(out[off:end:end], out[off+NonceSize:off+NonceSize+n], *ap)
+		putBuf(ap)
+		if err != nil {
+			firstErr.CompareAndSwap(nil, &err)
+		}
+	})
+	if ep := firstErr.Load(); ep != nil {
+		return nil, 0, *ep
+	}
+	return out, l.k, nil
+}
+
+// parseSegmented validates a segmented blob's framing defensively and
+// returns its header, per-segment lengths and total plaintext size. All
+// framing fields are re-authenticated per segment via the AAD, so a
+// forged header can shape the parse but never an accepted plaintext.
+func parseSegmented(blob []byte) (header []byte, lens []int64, total int64, err error) {
+	if len(blob) < segHeaderFixed {
+		return nil, nil, 0, fmt.Errorf("seal: segmented blob too short: %d bytes", len(blob))
+	}
+	if binary.BigEndian.Uint32(blob[0:]) != segMagic {
+		return nil, nil, 0, fmt.Errorf("seal: not a segmented blob")
+	}
+	k := binary.BigEndian.Uint32(blob[4:])
+	if k == 0 || k > maxSegmentCount {
+		return nil, nil, 0, fmt.Errorf("seal: segment count %d out of range", k)
+	}
+	hdrLen := int64(segHeaderFixed) + 4*int64(k)
+	if int64(len(blob)) < hdrLen {
+		return nil, nil, 0, fmt.Errorf("seal: segmented blob truncated in header")
+	}
+	lens = make([]int64, k)
+	for i := range lens {
+		lens[i] = int64(binary.BigEndian.Uint32(blob[segHeaderFixed+4*i:]))
+		total += lens[i]
+	}
+	want := hdrLen + total + int64(k)*Overhead
+	if int64(len(blob)) != want {
+		return nil, nil, 0, fmt.Errorf("seal: segmented blob is %d bytes, framing declares %d", len(blob), want)
+	}
+	return blob[:hdrLen], lens, total, nil
+}
+
+// OpenSegmented authenticates and decrypts a blob produced by
+// SealSegmented with the same aad, verifying every segment (concurrently
+// on the worker pool for multi-segment blobs). Any tampered segment,
+// header field or AAD fails the whole open with ErrAuth. It returns the
+// plaintext and the number of segments verified.
+func (s *Sealer) OpenSegmented(blob, aad []byte) ([]byte, int, error) {
+	header, lens, total, err := parseSegmented(blob)
+	if err != nil {
+		return nil, 0, err
+	}
+	k := len(lens)
+	pt := make([]byte, total)
+	// Segment starts: lens may be irregular in a forged blob, so compute
+	// real offsets instead of assuming the sealer's regular geometry.
+	blobOff := make([]int64, k)
+	ptOff := make([]int64, k)
+	off, po := int64(len(header)), int64(0)
+	for i, n := range lens {
+		blobOff[i], ptOff[i] = off, po
+		off += n + Overhead
+		po += n
+	}
+	var firstErr atomic.Pointer[error]
+	s.workerPool().Run(k, func(i int) {
+		n := lens[i]
+		ap := segAAD(header, i, aad)
+		dst := pt[ptOff[i]:ptOff[i] : ptOff[i]+n]
+		err := s.openInto(dst, blob[blobOff[i]:blobOff[i]+n+Overhead], *ap)
+		putBuf(ap)
+		if err != nil {
+			firstErr.CompareAndSwap(nil, &err)
+		}
+	})
+	if ep := firstErr.Load(); ep != nil {
+		return nil, 0, ErrAuth
+	}
+	return pt, k, nil
+}

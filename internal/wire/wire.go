@@ -32,6 +32,10 @@ const (
 	magic = 0x4541474D // "EAGM"
 	// MaxFrame bounds a single message frame (1 GiB).
 	MaxFrame = 1 << 30
+	// MaxChunk bounds a single chunk payload (256 MiB). A corrupt or
+	// hostile length prefix is rejected before any allocation happens,
+	// so one bad frame can never demand a near-MaxFrame buffer.
+	MaxChunk = 256 << 20
 	// maxCount bounds chunk/block counts per frame.
 	maxCount = 1 << 20
 )
@@ -49,6 +53,9 @@ func WriteMessage(w io.Writer, src int, msg block.Message) error {
 		return err
 	}
 	for _, c := range msg.Chunks {
+		if len(c.Payload) > MaxChunk {
+			return fmt.Errorf("wire: chunk payload of %d bytes exceeds %d", len(c.Payload), MaxChunk)
+		}
 		var flags byte
 		if c.Enc {
 			flags |= 1
@@ -137,6 +144,9 @@ func ReadMessage(r io.Reader) (src int, msg block.Message, err error) {
 		plen, err := readU32(r)
 		if err != nil {
 			return 0, msg, err
+		}
+		if plen > MaxChunk {
+			return 0, msg, fmt.Errorf("wire: chunk payload of %d bytes exceeds %d", plen, MaxChunk)
 		}
 		total += uint64(plen)
 		if total > MaxFrame {

@@ -146,12 +146,51 @@ func TestQuickRoundTrip(t *testing.T) {
 	}
 }
 
+// oversizedLengthFrame builds a structurally valid frame whose payload
+// length field claims far more bytes than MaxChunk allows.
+func oversizedLengthFrame(t testing.TB, plen uint32) []byte {
+	var buf bytes.Buffer
+	msg := block.NewPlain(0, []byte("tiny"))
+	if err := WriteMessage(&buf, 1, msg); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The payload length field sits 4 bytes before the payload itself,
+	// which is the last len("tiny") bytes of the frame.
+	off := len(raw) - 4 - 4
+	raw[off], raw[off+1], raw[off+2], raw[off+3] =
+		byte(plen>>24), byte(plen>>16), byte(plen>>8), byte(plen)
+	return raw
+}
+
+// A corrupt length prefix must be rejected before make([]byte, plen) can
+// attempt a huge allocation.
+func TestOversizedPayloadLengthRejected(t *testing.T) {
+	for _, plen := range []uint32{MaxChunk + 1, 1 << 30, 0xFFFFFFFF} {
+		raw := oversizedLengthFrame(t, plen)
+		if _, _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+			t.Fatalf("payload length %d accepted", plen)
+		}
+	}
+	// The writer refuses to produce such a frame in the first place.
+	huge := block.Message{Chunks: []block.Chunk{{
+		Blocks:  []block.Block{{Origin: 0, Len: MaxChunk + 1}},
+		Payload: make([]byte, MaxChunk+1),
+	}}}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, 0, huge); err == nil {
+		t.Fatal("oversized chunk written")
+	}
+}
+
 // FuzzReadMessage: arbitrary bytes must never panic or over-allocate.
 func FuzzReadMessage(f *testing.F) {
 	var buf bytes.Buffer
 	_ = WriteMessage(&buf, 3, block.NewPlain(0, []byte("seed")))
 	f.Add(buf.Bytes())
 	f.Add([]byte{})
+	f.Add(oversizedLengthFrame(f, 0xFFFFFFFF))
+	f.Add(oversizedLengthFrame(f, MaxChunk+1))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _, _ = ReadMessage(bytes.NewReader(data))
 	})
