@@ -7,10 +7,18 @@
 //   - no plaintext ever crosses a node boundary (transport audit);
 //   - no GCM nonce is ever reused.
 //
+// With -faults it additionally runs the chaos sweep: every algorithm
+// under deterministic fault-injection plans (connection drops, stalls,
+// partial writes, frame corruption), checking the fault-tolerance
+// contract — transient plans must complete with byte-exact buffers, and
+// any plan must end in either verified completion or a single
+// structured RankError, never a hang or a panic.
+//
 // Exit status 0 means all checks passed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +33,8 @@ func main() {
 	overTCP := flag.Bool("tcp", false, "also run each algorithm over loopback TCP with wire sniffing")
 	cryptoWorkers := flag.Int("crypto-workers", 0, "AES-GCM worker pool size (0 = shared GOMAXPROCS pool)")
 	segSize := flag.Int64("segment-size", 0, "AES-GCM segmentation split size in bytes (0 = 64 KiB default); small values force multi-segment seals")
+	faults := flag.Bool("faults", false, "also run the fault-injection chaos sweep (see -fault-seeds)")
+	faultSeeds := flag.Int("fault-seeds", 3, "deterministic seeds per plan family in the chaos sweep")
 	flag.Parse()
 
 	var sizes []int64
@@ -107,10 +117,81 @@ func main() {
 		}
 	}
 
+	if *faults {
+		c, f := chaosSweep(*faultSeeds, *verbose)
+		cases += c
+		failures += f
+	}
+
 	fmt.Printf("\n%d cases, %d failures in %v\n", cases, failures, time.Since(start).Round(time.Millisecond))
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// chaosSweep exercises every paper algorithm under deterministic fault
+// plans on both the TCP and the channel transport, enforcing the
+// fault-tolerance contract. It returns (cases, failures).
+func chaosSweep(seeds int, verbose bool) (int, int) {
+	specs := []encag.Spec{
+		{Procs: 4, Nodes: 2, RecvTimeout: 2 * time.Second},
+		{Procs: 8, Nodes: 4, RecvTimeout: 2 * time.Second},
+	}
+	cases, failures := 0, 0
+	report := func(kind, alg string, spec encag.Spec, seed int64, status string) {
+		if status != "ok" {
+			failures++
+			fmt.Printf("chaos %-10s %-8s p=%-4d N=%-2d seed=%-3d %s\n",
+				kind, alg, spec.Procs, spec.Nodes, seed, status)
+		} else if verbose {
+			fmt.Printf("chaos %-10s %-8s p=%-4d N=%-2d seed=%-3d ok\n",
+				kind, alg, spec.Procs, spec.Nodes, seed)
+		}
+	}
+	for _, spec := range specs {
+		for _, alg := range encag.PaperAlgorithms() {
+			for seed := int64(1); seed <= int64(seeds); seed++ {
+				// Transient plans are recoverable by definition: the TCP
+				// transport must absorb every one and finish byte-exact.
+				cases++
+				tspec := spec
+				tspec.RecvTimeout = 10 * time.Second // stalls slow frames down legitimately
+				plan := encag.TransientFaultPlan(seed, spec.Procs, 6)
+				_, err := encag.RunTCPFaulty(tspec, alg, 2048, plan)
+				status := "ok"
+				if err != nil {
+					status = fmt.Sprintf("FAIL (transient plan must recover): %v [%v]", err, plan)
+				}
+				report("transient", alg, spec, seed, status)
+
+				// Random plans include corruption: verified completion or a
+				// single structured RankError are the only legal outcomes.
+				cases++
+				plan = encag.RandomFaultPlan(seed, spec.Procs, 6)
+				_, err = encag.RunTCPFaulty(spec, alg, 2048, plan)
+				report("random-tcp", alg, spec, seed, chaosStatus(err, plan))
+
+				cases++
+				plan = encag.RandomFaultPlan(seed+1000, spec.Procs, 4)
+				_, err = encag.RunFaulty(spec, alg, 2048, plan)
+				report("random-chan", alg, spec, seed, chaosStatus(err, plan))
+			}
+		}
+	}
+	return cases, failures
+}
+
+// chaosStatus classifies a chaos-run outcome: success and structured
+// RankErrors are legal, anything else is a contract violation.
+func chaosStatus(err error, plan *encag.FaultPlan) string {
+	if err == nil {
+		return "ok"
+	}
+	var re *encag.RankError
+	if errors.As(err, &re) {
+		return "ok" // failed closed with a structured root cause
+	}
+	return fmt.Sprintf("FAIL (unstructured error): %v [%v]", err, plan)
 }
 
 func mappingName(s encag.Spec) string {

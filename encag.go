@@ -51,6 +51,7 @@ import (
 	"encag/internal/collective"
 	"encag/internal/cost"
 	"encag/internal/encrypted"
+	"encag/internal/fault"
 	"encag/internal/trace"
 )
 
@@ -110,10 +111,18 @@ type Spec struct {
 	// at or above it are sealed as independently encrypted segments
 	// processed concurrently (and still authenticated as one unit).
 	SegmentSize int64
+
+	// RecvTimeout bounds every single receive wait in the real and TCP
+	// engines: a rank waiting longer than this for a message (peer died,
+	// frame lost to an injected fault) fails with a structured RankError
+	// instead of hanging until the run-level timeout. 0 selects the
+	// 30-second default. The simulator ignores it.
+	RecvTimeout time.Duration
 }
 
 func (s Spec) toCluster() (cluster.Spec, error) {
-	cs := cluster.Spec{P: s.Procs, N: s.Nodes, CryptoWorkers: s.CryptoWorkers, SegmentSize: s.SegmentSize}
+	cs := cluster.Spec{P: s.Procs, N: s.Nodes, CryptoWorkers: s.CryptoWorkers,
+		SegmentSize: s.SegmentSize, RecvTimeout: s.RecvTimeout}
 	switch strings.ToLower(s.Mapping) {
 	case "", "block":
 		cs.Mapping = cluster.BlockMapping
@@ -364,10 +373,65 @@ type TCPResult struct {
 // captured so the result can state — at the byte level — whether any
 // plaintext block was visible to an eavesdropper.
 func RunOverTCP(spec Spec, algorithm string, msgSize int64) (*TCPResult, error) {
-	return runOverTCP(spec, algorithm, msgSize, nil)
+	return runOverTCP(spec, algorithm, msgSize, nil, nil)
 }
 
-func runOverTCP(spec Spec, algorithm string, msgSize int64, tracer cluster.Tracer) (*TCPResult, error) {
+// FaultPlan is a deterministic, seedable fault-injection schedule for
+// the transport: per-rank-pair rules injecting connection drops, frame
+// corruption, stalls, read delays and partial writes. Build one by hand
+// from FaultRules, or generate one with RandomFaultPlan or
+// TransientFaultPlan.
+type FaultPlan = fault.Plan
+
+// FaultRule is one per-rank-pair fault of a FaultPlan.
+type FaultRule = fault.Rule
+
+// FaultKind classifies a FaultRule.
+type FaultKind = fault.Kind
+
+// Fault kinds a FaultRule can inject.
+const (
+	FaultDrop         = fault.Drop
+	FaultCorrupt      = fault.Corrupt
+	FaultStall        = fault.Stall
+	FaultStallRead    = fault.StallRead
+	FaultPartialWrite = fault.PartialWrite
+)
+
+// RandomFaultPlan generates a deterministic plan of n rules for a world
+// of procs ranks, drawing from every fault kind including frame
+// corruption (which fails closed rather than recovers).
+func RandomFaultPlan(seed int64, procs, n int) *FaultPlan { return fault.Random(seed, procs, n) }
+
+// TransientFaultPlan generates a deterministic plan limited to
+// recoverable faults (drops, stalls, read delays, partial writes): the
+// TCP transport must complete correctly under any such plan.
+func TransientFaultPlan(seed int64, procs, n int) *FaultPlan { return fault.Transient(seed, procs, n) }
+
+// RankError is the structured failure report of a run: the first rank
+// that hit a root-cause error, the peer involved, the operation, and
+// the underlying error. Retrieve it with errors.As.
+type RankError = cluster.RankError
+
+// RunTCPFaulty is RunOverTCP under a fault-injection plan. The
+// transport absorbs transient faults (drops, stalls, partial writes) by
+// reconnecting and resending — frame sequence numbers keep the retry
+// idempotent, and AES-GCM's AAD binding makes replays and splices fail
+// closed — so the run either completes with verified, byte-exact
+// buffers or returns a single *RankError identifying the first faulting
+// rank, peer and operation. It never panics, deadlocks or leaks
+// goroutines, whatever the plan.
+func RunTCPFaulty(spec Spec, algorithm string, msgSize int64, plan *FaultPlan) (*TCPResult, error) {
+	return runOverTCP(spec, algorithm, msgSize, nil, plan)
+}
+
+// RunFaulty is Run under a fault-injection plan, applied at message
+// granularity on the in-memory channel transport: corruption is caught
+// by authenticated decryption, and a dropped message surfaces as a
+// bounded structured recv error at the starved peer (the channel
+// transport has no connection to re-establish). Same invariant as
+// RunTCPFaulty: verified completion or a single *RankError.
+func RunFaulty(spec Spec, algorithm string, msgSize int64, plan *FaultPlan) (*RunResult, error) {
 	cs, err := spec.toCluster()
 	if err != nil {
 		return nil, err
@@ -376,7 +440,47 @@ func runOverTCP(spec Spec, algorithm string, msgSize int64, tracer cluster.Trace
 	if err != nil {
 		return nil, err
 	}
-	res, err := cluster.RunTCPTraced(cs, msgSize, alg, tracer)
+	res, err := cluster.RunRealFaulty(cs, msgSize, alg, plan)
+	if err != nil {
+		return nil, err
+	}
+	if err := cluster.ValidateGather(cs, msgSize, res.Results, true); err != nil {
+		return nil, fmt.Errorf("encag: %s produced an invalid gather under faults: %w", algorithm, err)
+	}
+	out := &RunResult{
+		Gathered:      make([][][]byte, cs.P),
+		Metrics:       res.Critical,
+		SecurityOK:    res.Audit.Clean() && !res.Sealer.DuplicateNonceSeen(),
+		InterMessages: res.Audit.InterMsgs,
+		IntraMessages: res.Audit.IntraMsgs,
+		Violations:    append([]string(nil), res.Audit.Violations...),
+		Elapsed:       res.Elapsed,
+	}
+	for r, msg := range res.Results {
+		payloads, err := block.Normalize(msg, cs.P, msgSize, false)
+		if err != nil {
+			return nil, fmt.Errorf("encag: rank %d: %w", r, err)
+		}
+		out.Gathered[r] = payloads
+	}
+	return out, nil
+}
+
+func runOverTCP(spec Spec, algorithm string, msgSize int64, tracer cluster.Tracer, plan *fault.Plan) (*TCPResult, error) {
+	cs, err := spec.toCluster()
+	if err != nil {
+		return nil, err
+	}
+	alg, err := lookup(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	var res *cluster.TCPResult
+	if plan != nil {
+		res, err = cluster.RunTCPFaulty(cs, msgSize, alg, plan)
+	} else {
+		res, err = cluster.RunTCPTraced(cs, msgSize, alg, tracer)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -447,7 +551,7 @@ func AllgatherTraced(spec Spec, algorithm string, data [][]byte) (*RunResult, *T
 // and AES-GCM work.
 func RunOverTCPTraced(spec Spec, algorithm string, msgSize int64) (*TCPResult, *Trace, error) {
 	col := &trace.Collector{}
-	res, err := runOverTCP(spec, algorithm, msgSize, col)
+	res, err := runOverTCP(spec, algorithm, msgSize, col, nil)
 	if err != nil {
 		return nil, nil, err
 	}

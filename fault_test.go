@@ -1,0 +1,75 @@
+package encag_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"encag"
+)
+
+// The public fault-injection surface: transient plans recover over TCP,
+// random plans complete or fail closed with a structured RankError, and
+// hand-built plans hit the exact frame they target.
+func TestRunTCPFaultyTransientRecovers(t *testing.T) {
+	spec := encag.Spec{Procs: 4, Nodes: 2, RecvTimeout: 10 * time.Second}
+	plan := encag.TransientFaultPlan(7, spec.Procs, 5)
+	res, err := encag.RunTCPFaulty(spec, "o-ring", 1024, plan)
+	if err != nil {
+		t.Fatalf("transient plan must recover: %v\nplan: %v", err, plan)
+	}
+	if !res.SecurityOK || !res.WireClean {
+		t.Fatal("recovered run lost the security property")
+	}
+}
+
+func TestRunTCPFaultyFailsClosed(t *testing.T) {
+	spec := encag.Spec{Procs: 4, Nodes: 2, RecvTimeout: 2 * time.Second}
+	// Corrupt every frame 0->2 (inter-node under block mapping): the run
+	// must either absorb it (frame re-sent for another reason) or report
+	// one structured root cause — silent wrong buffers are the only
+	// forbidden outcome, and RunTCPFaulty validates against them.
+	plan := &encag.FaultPlan{Rules: []encag.FaultRule{
+		{Src: 0, Dst: 2, Frame: -1, Kind: encag.FaultCorrupt, Offset: 90, Times: -1},
+	}}
+	_, err := encag.RunTCPFaulty(spec, "naive", 1024, plan)
+	if err != nil {
+		var re *encag.RankError
+		if !errors.As(err, &re) {
+			t.Fatalf("error is %T, want *RankError: %v", err, err)
+		}
+	}
+}
+
+func TestRunFaultyChannelEngine(t *testing.T) {
+	spec := encag.Spec{Procs: 4, Nodes: 2, RecvTimeout: 2 * time.Second}
+	// A dropped message on the channel transport is lost for good: the
+	// starved peer must fail with a bounded structured recv error. Naive
+	// is all-to-all, so the 1->0 pair is guaranteed to carry a message.
+	plan := &encag.FaultPlan{Rules: []encag.FaultRule{
+		{Src: 1, Dst: 0, Frame: 0, Kind: encag.FaultDrop},
+	}}
+	start := time.Now()
+	_, err := encag.RunFaulty(spec, "naive", 512, plan)
+	if err == nil {
+		t.Fatal("dropped message went unnoticed")
+	}
+	var re *encag.RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("error is %T, want *RankError: %v", err, err)
+	}
+	if re.Op != "recv" {
+		t.Fatalf("root cause op = %q, want recv: %v", re.Op, err)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Fatal("loss took the run-level timeout instead of the recv deadline")
+	}
+	// The same plan with no faults completes normally.
+	res, err := encag.RunFaulty(spec, "o-ring", 512, &encag.FaultPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SecurityOK {
+		t.Fatal("clean faulty run lost the security property")
+	}
+}

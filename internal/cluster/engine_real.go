@@ -2,11 +2,11 @@ package cluster
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 	"time"
 
 	"encag/internal/block"
+	"encag/internal/fault"
 	"encag/internal/seal"
 )
 
@@ -73,7 +73,10 @@ type realEngine struct {
 	bars      []*realBarrier
 	audit     *SecurityAudit
 	adversary Adversary
-	wt        wallTrace     // wall-clock tracing; inert unless a tracer is set
+	inj       *fault.Injector
+	recvTO    time.Duration
+	wt        wallTrace // wall-clock tracing; inert unless a tracer is set
+	fails     failState
 	aborted   chan struct{} // closed when any rank fails: unblocks peers
 	abortOnce sync.Once
 }
@@ -148,10 +151,32 @@ type realRecvReq struct{ src int }
 func (realSendReq) isRequest() {}
 func (realRecvReq) isRequest() {}
 
+// fail records the run's first root-cause error, unblocks every other
+// rank, and unwinds this one.
+func (e *realEngine) fail(re *RankError) {
+	e.fails.record(re)
+	e.abort()
+	panic(re)
+}
+
 func (e *realEngine) isend(p *Proc, dst int, msg block.Message) Request {
 	e.audit.record(e.spec, p.rank, dst, msg)
 	if e.adversary != nil && !e.spec.SameNode(p.rank, dst) {
 		msg = e.adversary(p.rank, dst, msg)
+	}
+	if e.inj != nil {
+		v := e.inj.SendFrame(p.rank, dst)
+		e.inj.Sleep(v.Stall)
+		if v.CorruptAt >= 0 {
+			msg = corruptMessage(msg, v.CorruptAt)
+		}
+		if v.Drop || v.PartialKeep >= 0 {
+			// The channel transport has no connection to re-establish: a
+			// dropped or partially written frame is simply lost in
+			// transit. The receiver's bounded recv deadline turns the
+			// loss into a structured error.
+			return realSendReq{}
+		}
 	}
 	var start float64
 	if e.wt.active() {
@@ -192,7 +217,9 @@ func (e *realEngine) wait(p *Proc, reqs []Request) []block.Message {
 }
 
 // recvFrom returns the next message from src to rank, buffering messages
-// from other sources that arrive in between.
+// from other sources that arrive in between. The wait is bounded by the
+// recv deadline: a message that never arrives (lost to a fault, peer
+// death) surfaces as a structured recv error instead of a deadlock.
 func (e *realEngine) recvFrom(rank, src int) block.Message {
 	pend := e.pend[rank]
 	if len(pend[src]) > 0 {
@@ -200,6 +227,8 @@ func (e *realEngine) recvFrom(rank, src int) block.Message {
 		pend[src] = pend[src][1:]
 		return msg
 	}
+	deadline := time.NewTimer(e.recvTO)
+	defer deadline.Stop()
 	for {
 		select {
 		case env := <-e.boxes[rank]:
@@ -209,8 +238,39 @@ func (e *realEngine) recvFrom(rank, src int) block.Message {
 			pend[env.src] = append(pend[env.src], env.msg)
 		case <-e.aborted:
 			panic(errRunAborted)
+		case <-deadline.C:
+			e.fail(&RankError{Rank: rank, Peer: src, Op: "recv",
+				Err: fmt.Errorf("no message within %v", e.recvTO)})
 		}
 	}
+}
+
+// corruptMessage returns msg with one payload byte flipped at the given
+// offset into the concatenation of its chunk payloads (modulo total
+// payload length). The affected chunk is cloned so the sender's own
+// buffers stay intact.
+func corruptMessage(msg block.Message, offset int) block.Message {
+	var total int
+	for _, c := range msg.Chunks {
+		total += len(c.Payload)
+	}
+	if total == 0 {
+		return msg
+	}
+	offset %= total
+	out := block.Message{Chunks: append([]block.Chunk(nil), msg.Chunks...)}
+	for i := range out.Chunks {
+		n := len(out.Chunks[i].Payload)
+		if offset >= n {
+			offset -= n
+			continue
+		}
+		tampered := append([]byte(nil), out.Chunks[i].Payload...)
+		tampered[offset] ^= 0x40
+		out.Chunks[i].Payload = tampered
+		break
+	}
+	return out
 }
 
 func (e *realEngine) span(p *Proc, kind TraceKind, n int64) func() {
@@ -292,7 +352,7 @@ func RunRealDataTraced(spec Spec, msgSize int64, payloads [][]byte, algo Algorit
 			}
 		}
 	}
-	return runReal(spec, msgSize, payloads, algo, nil, tracer)
+	return runReal(spec, msgSize, payloads, algo, nil, tracer, nil)
 }
 
 // RunRealAdversarial is RunReal with a man-in-the-middle on every
@@ -300,7 +360,27 @@ func RunRealDataTraced(spec Spec, msgSize int64, payloads [][]byte, algo Algorit
 // node boundary. Used to verify end-to-end that tampering cannot go
 // undetected in any algorithm.
 func RunRealAdversarial(spec Spec, msgSize int64, algo Algorithm, adv Adversary) (*RealResult, error) {
-	return runReal(spec, msgSize, nil, algo, adv, nil)
+	return runReal(spec, msgSize, nil, algo, adv, nil, nil)
+}
+
+// RunRealFaulty is RunReal under a fault-injection plan applied at
+// message granularity: stalls delay delivery, corruption flips payload
+// bytes (caught by authenticated decryption or end-of-run validation),
+// and drops/partial writes lose the message in transit, surfacing as a
+// bounded structured recv error at the starved peer. The run either
+// completes with verified results or returns one *RankError naming the
+// first root cause; corruption of unauthenticated plaintext (intra-node
+// traffic) is caught by the end-of-run gather validation.
+func RunRealFaulty(spec Spec, msgSize int64, algo Algorithm, plan *fault.Plan) (*RealResult, error) {
+	res, err := runReal(spec, msgSize, nil, algo, nil, nil, plan)
+	if err != nil {
+		return nil, err
+	}
+	if verr := ValidateGather(spec, msgSize, res.Results, true); verr != nil {
+		return nil, &RankError{Rank: -1, Peer: -1, Op: "validate",
+			Err: fmt.Errorf("fault corrupted the gathered result: %w", verr)}
+	}
+	return res, nil
 }
 
 // RunRealV is the all-gatherv variant: contributions may have different
@@ -312,10 +392,10 @@ func RunRealV(spec Spec, payloads [][]byte, algo Algorithm) (*RealResult, error)
 	if len(payloads) != spec.P {
 		return nil, fmt.Errorf("cluster: %d payloads for %d ranks", len(payloads), spec.P)
 	}
-	return runReal(spec, 0, payloads, algo, nil, nil)
+	return runReal(spec, 0, payloads, algo, nil, nil, nil)
 }
 
-func runReal(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, adv Adversary, tracer Tracer) (*RealResult, error) {
+func runReal(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, adv Adversary, tracer Tracer, plan *fault.Plan) (*RealResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -338,8 +418,13 @@ func runReal(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, adv Ad
 		bars:      make([]*realBarrier, spec.N),
 		audit:     &SecurityAudit{},
 		adversary: adv,
+		inj:       fault.NewInjector(plan),
+		recvTO:    spec.RecvTimeout,
 		wt:        wallTrace{tracer: tracer},
 		aborted:   make(chan struct{}),
+	}
+	if e.recvTO <= 0 {
+		e.recvTO = DefaultRecvTimeout
 	}
 	for r := 0; r < spec.P; r++ {
 		e.boxes[r] = make(chan envelope, 2*spec.P+16)
@@ -364,7 +449,6 @@ func runReal(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, adv Ad
 		Audit:   e.audit,
 		Sealer:  slr,
 	}
-	errs := make(chan error, spec.P)
 	var wg sync.WaitGroup
 	start := time.Now()
 	e.wt.epoch = start
@@ -373,15 +457,7 @@ func runReal(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, adv Ad
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer func() {
-				if rec := recover(); rec != nil {
-					e.abort()
-					select {
-					case errs <- fmt.Errorf("cluster: rank %d: %v", r, rec):
-					default:
-					}
-				}
-			}()
+			defer func() { recoverRank(recover(), &e.fails, e.abort, r) }()
 			p := &Proc{rank: r, spec: spec, met: &res.PerRank[r], eng: e, sizes: sizes}
 			payload := block.FillPattern(r, msgSize)
 			if payloads != nil {
@@ -396,27 +472,17 @@ func runReal(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, adv Ad
 	select {
 	case <-done:
 	case <-time.After(RealTimeout):
-		return nil, fmt.Errorf("cluster: real run timed out after %v (algorithm deadlock?) on %v", RealTimeout, spec)
+		e.fails.record(&RankError{Rank: -1, Peer: -1, Op: "timeout",
+			Err: fmt.Errorf("real run exceeded %v (algorithm deadlock?) on %v", RealTimeout, spec)})
+		e.abort()
+		// The abort unblocks every rank (sends, receives and barriers all
+		// observe it), so wait for them to unwind instead of leaking the
+		// rank goroutines and the done-waiter into the caller's process.
+		<-done
 	}
 	res.Elapsed = time.Since(start)
-	var firstErr error
-drain:
-	for {
-		select {
-		case err := <-errs:
-			// Prefer the primary failure over secondary abort panics.
-			if firstErr == nil || (strings.Contains(firstErr.Error(), errRunAborted) &&
-				!strings.Contains(err.Error(), errRunAborted)) {
-				if firstErr == nil || !strings.Contains(err.Error(), errRunAborted) {
-					firstErr = err
-				}
-			}
-		default:
-			break drain
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
+	if err := e.fails.err(); err != nil {
+		return nil, err
 	}
 	res.Critical = CriticalPath(res.PerRank)
 	return res, nil

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"encag/internal/block"
+	"encag/internal/fault"
 	"encag/internal/seal"
 	"encag/internal/wire"
 )
@@ -74,28 +75,117 @@ func (s *WireSniffer) Contains(needle []byte) bool {
 	return bytes.Contains(s.buf.Bytes(), needle)
 }
 
-// sniffConn wraps the write side of an inter-node connection.
+// sniffConn wraps the write side of an inter-node connection. Only the
+// bytes the underlying connection actually accepted are recorded, so a
+// failed or short write cannot inflate the eavesdropper's tally.
 type sniffConn struct {
 	net.Conn
 	sniffer *WireSniffer
 }
 
 func (c *sniffConn) Write(p []byte) (int, error) {
-	c.sniffer.record(p)
-	return c.Conn.Write(p)
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.sniffer.record(p[:n])
+	}
+	return n, err
+}
+
+const (
+	// sendRetries bounds reconnect attempts for one frame after a
+	// transient send failure.
+	sendRetries = 4
+	// sendBackoffBase is the first reconnect backoff; it doubles per
+	// attempt (2, 4, 8, 16 ms).
+	sendBackoffBase = 2 * time.Millisecond
+)
+
+// DefaultRecvTimeout bounds a single receive wait when Spec.RecvTimeout
+// is zero: a rank stuck waiting for a frame that will never arrive (lost
+// to a fault, or a peer that died) surfaces a structured recv error
+// instead of deadlocking until the run-level timeout.
+const DefaultRecvTimeout = 30 * time.Second
+
+// tcpLink is the sender-side state of one directed connection. The
+// owning rank goroutine is the only sender, but abort() closes the
+// current conn concurrently, so access goes through the mutex.
+type tcpLink struct {
+	mu   sync.Mutex
+	conn net.Conn
+	seq  uint64 // next frame sequence number
+}
+
+func (l *tcpLink) get() net.Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.conn
+}
+
+// replace installs a freshly dialed conn, closing the previous one.
+func (l *tcpLink) replace(c net.Conn) {
+	l.mu.Lock()
+	old := l.conn
+	l.conn = c
+	l.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+func (l *tcpLink) nextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.seq
+	l.seq++
+	return s
+}
+
+func (l *tcpLink) close() {
+	l.mu.Lock()
+	c := l.conn
+	l.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// seqGate deduplicates frames of one directed pair across reconnects: a
+// frame resent after a transient failure may arrive twice (once through
+// the old connection, once through the new), and must be delivered once.
+type seqGate struct {
+	mu   sync.Mutex
+	next uint64
+}
+
+// admit reports whether a frame with the given sequence number should be
+// delivered, and advances the gate past it.
+func (g *seqGate) admit(seq uint64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if seq < g.next {
+		return false
+	}
+	g.next = seq + 1
+	return true
 }
 
 type tcpEngine struct {
 	spec      Spec
 	slr       *seal.Sealer
-	conns     [][]net.Conn // [src][dst], nil on the diagonal
+	links     [][]*tcpLink // [src][dst], nil on the diagonal
+	addrs     []string     // listener address per rank, for reconnects
+	listeners []net.Listener
 	boxes     []chan envelope
 	pend      [][][]block.Message
+	gates     [][]*seqGate // [dst][src]
 	shm       []*realShm
 	bars      []*realBarrier
 	audit     *SecurityAudit
 	sniffer   *WireSniffer
+	inj       *fault.Injector
+	recvTO    time.Duration
 	wt        wallTrace // wall-clock tracing; inert unless a tracer is set
+	fails     failState
 	aborted   chan struct{}
 	abortOnce sync.Once
 	readersWG sync.WaitGroup
@@ -107,34 +197,129 @@ func (e *tcpEngine) abort() {
 		for _, b := range e.bars {
 			b.abort()
 		}
-		for _, row := range e.conns {
-			for _, c := range row {
-				if c != nil {
-					c.Close()
+		for _, l := range e.listeners {
+			if l != nil {
+				l.Close()
+			}
+		}
+		for _, row := range e.links {
+			for _, lnk := range row {
+				if lnk != nil {
+					lnk.close()
 				}
 			}
 		}
 	})
 }
 
+func (e *tcpEngine) isAborted() bool {
+	select {
+	case <-e.aborted:
+		return true
+	default:
+		return false
+	}
+}
+
+// fail records the run's first root-cause error, unblocks every other
+// rank, and unwinds this one.
+func (e *tcpEngine) fail(re *RankError) {
+	e.fails.record(re)
+	e.abort()
+	panic(re)
+}
+
 type tcpSendReq struct{}
 
 func (tcpSendReq) isRequest() {}
 
+// connect dials dst's listener and identifies src with a hello frame;
+// the conn is wrapped with the wire sniffer (inter-node pairs) and the
+// fault injector. Used for both initial setup and reconnects.
+func (e *tcpEngine) connect(src, dst int) (net.Conn, error) {
+	conn, err := net.Dial("tcp", e.addrs[dst])
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteHello(conn, src); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := net.Conn(conn)
+	if !e.spec.SameNode(src, dst) {
+		c = &sniffConn{Conn: c, sniffer: e.sniffer}
+	}
+	return e.inj.WrapSend(src, dst, c), nil
+}
+
 func (e *tcpEngine) isend(p *Proc, dst int, msg block.Message) Request {
 	e.audit.record(e.spec, p.rank, dst, msg)
-	conn := e.conns[p.rank][dst]
+	lnk := e.links[p.rank][dst]
+	seq := lnk.nextSeq()
 	var start float64
 	if e.wt.active() {
 		start = e.wt.now()
 	}
-	if err := wire.WriteMessage(conn, p.rank, msg); err != nil {
-		panic(fmt.Sprintf("cluster: tcp send %d->%d: %v", p.rank, dst, err))
+	if err := e.sendFrame(p.rank, dst, lnk, seq, msg); err != nil {
+		if e.isAborted() {
+			// The conns were torn down by another rank's failure: this
+			// send error is a symptom, not the root cause — report the
+			// abort sentinel so the primary error surfaces instead of a
+			// "use of closed network connection" cascade.
+			panic(errRunAborted)
+		}
+		e.fail(&RankError{Rank: p.rank, Peer: dst, Op: "send", Err: err})
 	}
 	if e.wt.active() {
 		e.wt.emit(p.rank, TraceSend, start, msg.WireLen(), dst)
 	}
 	return tcpSendReq{}
+}
+
+// sendFrame writes one sequence-numbered frame, recovering from
+// transient failures (injected drops, partial writes, connection resets)
+// by reconnecting — fresh dial plus hello re-handshake — under
+// exponential backoff. Resending the whole frame on a fresh connection
+// is safe: the receiver's sequence gate drops duplicates, a partial
+// frame on the abandoned connection never parses, and AES-GCM binds
+// every ciphertext to its block header, so replays and splices fail
+// closed rather than deliver wrong bytes.
+func (e *tcpEngine) sendFrame(src, dst int, lnk *tcpLink, seq uint64, msg block.Message) error {
+	var lastErr error
+	for attempt := 0; attempt <= sendRetries; attempt++ {
+		if attempt > 0 {
+			backoff := time.NewTimer(sendBackoffBase << (attempt - 1))
+			select {
+			case <-backoff.C:
+			case <-e.aborted:
+				backoff.Stop()
+				return lastErr
+			}
+			conn, err := e.connect(src, dst)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			lnk.replace(conn)
+		}
+		conn := lnk.get()
+		if conn == nil {
+			return lastErr
+		}
+		if fc, ok := conn.(*fault.Conn); ok {
+			if err := fc.StartFrame(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if err := wire.WriteMessageSeq(conn, src, seq, msg); err != nil {
+			lastErr = err
+			conn.Close()
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("send gave up after %d attempts: %w", sendRetries+1, lastErr)
 }
 
 func (e *tcpEngine) irecv(p *Proc, src int) Request {
@@ -160,6 +345,11 @@ func (e *tcpEngine) wait(p *Proc, reqs []Request) []block.Message {
 	return out
 }
 
+// recvFrom returns the next message from src to rank, buffering messages
+// from other sources that arrive in between. The wait is bounded: a
+// frame that never arrives (lost to a fault, peer death) surfaces as a
+// structured recv error after the configured deadline instead of
+// deadlocking.
 func (e *tcpEngine) recvFrom(rank, src int) block.Message {
 	pend := e.pend[rank]
 	if len(pend[src]) > 0 {
@@ -167,6 +357,8 @@ func (e *tcpEngine) recvFrom(rank, src int) block.Message {
 		pend[src] = pend[src][1:]
 		return msg
 	}
+	deadline := time.NewTimer(e.recvTO)
+	defer deadline.Stop()
 	for {
 		select {
 		case env := <-e.boxes[rank]:
@@ -176,6 +368,9 @@ func (e *tcpEngine) recvFrom(rank, src int) block.Message {
 			pend[env.src] = append(pend[env.src], env.msg)
 		case <-e.aborted:
 			panic(errRunAborted)
+		case <-deadline.C:
+			e.fail(&RankError{Rank: rank, Peer: src, Op: "recv",
+				Err: fmt.Errorf("no frame within %v", e.recvTO)})
 		}
 	}
 }
@@ -211,6 +406,36 @@ func (e *tcpEngine) nodeBarrier(p *Proc) {
 
 func (e *tcpEngine) sealer() *seal.Sealer { return e.slr }
 
+// serveConn handles one accepted connection: it learns the dialing rank
+// from the hello frame, then feeds sequence-deduplicated frames into the
+// destination rank's inbox until the connection dies (normal teardown,
+// abort, or a transient fault — the sender reconnects and a fresh
+// accepted conn takes over).
+func (e *tcpEngine) serveConn(dst int, conn net.Conn) {
+	defer e.readersWG.Done()
+	defer conn.Close()
+	src, err := wire.ReadHello(conn)
+	if err != nil || src < 0 || src >= e.spec.P || src == dst {
+		return
+	}
+	rc := e.inj.WrapRecv(src, dst, conn)
+	gate := e.gates[dst][src]
+	for {
+		s, seq, msg, err := wire.ReadMessageSeq(rc)
+		if err != nil || s != src {
+			return
+		}
+		if !gate.admit(seq) {
+			continue // duplicate of a frame resent over a newer conn
+		}
+		select {
+		case e.boxes[dst] <- envelope{src: src, msg: msg}:
+		case <-e.aborted:
+			return
+		}
+	}
+}
+
 // TCPResult extends the real-engine result with the wire capture.
 type TCPResult struct {
 	RealResult
@@ -224,7 +449,7 @@ type TCPResult struct {
 // — at the byte level an eavesdropper sees — that only ciphertext leaves
 // a node.
 func RunTCP(spec Spec, msgSize int64, algo Algorithm) (*TCPResult, error) {
-	return RunTCPTraced(spec, msgSize, algo, nil)
+	return runTCP(spec, msgSize, algo, nil, nil)
 }
 
 // RunTCPTraced is RunTCP with a wall-clock activity tracer: every send,
@@ -232,6 +457,33 @@ func RunTCP(spec Spec, msgSize int64, algo Algorithm) (*TCPResult, error) {
 // every rank is reported in seconds since the collective started (see
 // RunRealTraced). The tracer must be goroutine-safe.
 func RunTCPTraced(spec Spec, msgSize int64, algo Algorithm, tracer Tracer) (*TCPResult, error) {
+	return runTCP(spec, msgSize, algo, tracer, nil)
+}
+
+// RunTCPFaulty is RunTCP under a fault-injection plan: connection drops,
+// stalls, partial writes and frame corruption are applied per the plan's
+// per-rank-pair schedule. Transient faults (drops, stalls, partial
+// writes) are absorbed by reconnect-and-resend; non-recoverable ones
+// (corruption the authenticated encryption rejects, permanently lost
+// frames) surface as a single *RankError naming the first faulting
+// rank, peer and operation — never a panic, deadlock or goroutine leak.
+// A completed run is additionally verified end to end: corruption that
+// lands on unauthenticated bytes (plaintext intra-node frames, header
+// fields that still parse) is caught by gather validation and reported
+// as a structured error rather than silently delivered.
+func RunTCPFaulty(spec Spec, msgSize int64, algo Algorithm, plan *fault.Plan) (*TCPResult, error) {
+	res, err := runTCP(spec, msgSize, algo, nil, plan)
+	if err != nil {
+		return nil, err
+	}
+	if verr := ValidateGather(spec, msgSize, res.Results, true); verr != nil {
+		return nil, &RankError{Rank: -1, Peer: -1, Op: "validate",
+			Err: fmt.Errorf("fault corrupted the gathered result: %w", verr)}
+	}
+	return res, nil
+}
+
+func runTCP(spec Spec, msgSize int64, algo Algorithm, tracer Tracer, plan *fault.Plan) (*TCPResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -243,111 +495,90 @@ func RunTCPTraced(spec Spec, msgSize int64, algo Algorithm, tracer Tracer) (*TCP
 	slr.SetWorkers(spec.CryptoWorkers)
 	slr.EnableNonceAudit()
 	e := &tcpEngine{
-		spec:    spec,
-		slr:     slr,
-		conns:   make([][]net.Conn, spec.P),
-		boxes:   make([]chan envelope, spec.P),
-		pend:    make([][][]block.Message, spec.P),
-		shm:     make([]*realShm, spec.N),
-		bars:    make([]*realBarrier, spec.N),
-		audit:   &SecurityAudit{},
-		sniffer: &WireSniffer{},
-		wt:      wallTrace{tracer: tracer},
-		aborted: make(chan struct{}),
+		spec:      spec,
+		slr:       slr,
+		links:     make([][]*tcpLink, spec.P),
+		addrs:     make([]string, spec.P),
+		listeners: make([]net.Listener, spec.P),
+		boxes:     make([]chan envelope, spec.P),
+		pend:      make([][][]block.Message, spec.P),
+		gates:     make([][]*seqGate, spec.P),
+		shm:       make([]*realShm, spec.N),
+		bars:      make([]*realBarrier, spec.N),
+		audit:     &SecurityAudit{},
+		sniffer:   &WireSniffer{},
+		inj:       fault.NewInjector(plan),
+		recvTO:    spec.RecvTimeout,
+		wt:        wallTrace{tracer: tracer},
+		aborted:   make(chan struct{}),
+	}
+	if e.recvTO <= 0 {
+		e.recvTO = DefaultRecvTimeout
 	}
 	for r := 0; r < spec.P; r++ {
-		e.conns[r] = make([]net.Conn, spec.P)
+		e.links[r] = make([]*tcpLink, spec.P)
 		e.boxes[r] = make(chan envelope, 2*spec.P+16)
 		e.pend[r] = make([][]block.Message, spec.P)
+		e.gates[r] = make([]*seqGate, spec.P)
+		for s := 0; s < spec.P; s++ {
+			e.gates[r][s] = &seqGate{}
+		}
 	}
 	for n := 0; n < spec.N; n++ {
 		e.shm[n] = &realShm{m: make(map[string]block.Message)}
 		e.bars[n] = newRealBarrier(spec.Ell())
 	}
 
-	// One listener per rank.
-	listeners := make([]net.Listener, spec.P)
-	for r := range listeners {
-		l, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return nil, fmt.Errorf("cluster: tcp listen: %w", err)
-		}
-		listeners[r] = l
-		defer l.Close()
+	// teardown unblocks and drains every goroutine the run started; it is
+	// idempotent and safe to call on early-exit error paths.
+	teardown := func() {
+		e.abort()
+		e.readersWG.Wait()
 	}
 
-	// Accept side: rank d accepts p-1 connections; each identifies its
-	// dialer via a hello frame and gets a reader goroutine feeding d's
-	// inbox.
-	var acceptWG sync.WaitGroup
-	acceptErr := make(chan error, spec.P)
+	// One listener per rank, each with a persistent accept loop: beyond
+	// the initial p-1 connections it keeps accepting so that a sender
+	// recovering from a transient fault can reconnect and re-handshake.
+	for r := 0; r < spec.P; r++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			teardown()
+			return nil, &RankError{Rank: r, Peer: -1, Op: "listen", Err: err}
+		}
+		e.listeners[r] = l
+		e.addrs[r] = l.Addr().String()
+	}
 	for d := 0; d < spec.P; d++ {
 		d := d
-		acceptWG.Add(1)
+		e.readersWG.Add(1)
 		go func() {
-			defer acceptWG.Done()
-			for k := 0; k < spec.P-1; k++ {
-				conn, err := listeners[d].Accept()
+			defer e.readersWG.Done()
+			for {
+				conn, err := e.listeners[d].Accept()
 				if err != nil {
-					acceptErr <- err
-					return
+					return // listener closed: teardown
 				}
-				src, err := wire.ReadHello(conn)
-				if err != nil || src < 0 || src >= spec.P {
-					acceptErr <- fmt.Errorf("cluster: bad hello: %v", err)
-					return
-				}
+				// The accept goroutine holds a readersWG slot, so this
+				// Add never races a Wait at zero.
 				e.readersWG.Add(1)
-				go func() {
-					defer e.readersWG.Done()
-					for {
-						s, msg, err := wire.ReadMessage(conn)
-						if err != nil {
-							return // closed (normal teardown or abort)
-						}
-						if s != src {
-							return
-						}
-						select {
-						case e.boxes[d] <- envelope{src: src, msg: msg}:
-						case <-e.aborted:
-							return
-						}
-					}
-				}()
+				go e.serveConn(d, conn)
 			}
 		}()
 	}
 
-	// Dial side: rank s dials every other rank; inter-node connections
-	// are wrapped by the sniffer.
+	// Dial side: every ordered pair gets a dedicated link.
 	for s := 0; s < spec.P; s++ {
 		for d := 0; d < spec.P; d++ {
 			if s == d {
 				continue
 			}
-			conn, err := net.Dial("tcp", listeners[d].Addr().String())
+			conn, err := e.connect(s, d)
 			if err != nil {
-				e.abort()
-				return nil, fmt.Errorf("cluster: tcp dial %d->%d: %w", s, d, err)
+				teardown()
+				return nil, &RankError{Rank: s, Peer: d, Op: "dial", Err: err}
 			}
-			if err := wire.WriteHello(conn, s); err != nil {
-				e.abort()
-				return nil, fmt.Errorf("cluster: tcp hello %d->%d: %w", s, d, err)
-			}
-			if !spec.SameNode(s, d) {
-				e.conns[s][d] = &sniffConn{Conn: conn, sniffer: e.sniffer}
-			} else {
-				e.conns[s][d] = conn
-			}
+			e.links[s][d] = &tcpLink{conn: conn}
 		}
-	}
-	acceptWG.Wait()
-	select {
-	case err := <-acceptErr:
-		e.abort()
-		return nil, err
-	default:
 	}
 
 	res := &TCPResult{Sniffer: e.sniffer}
@@ -359,7 +590,6 @@ func RunTCPTraced(spec Spec, msgSize int64, algo Algorithm, tracer Tracer) (*TCP
 	for r := range sizes {
 		sizes[r] = msgSize
 	}
-	errs := make(chan error, spec.P)
 	var wg sync.WaitGroup
 	start := time.Now()
 	e.wt.epoch = start
@@ -368,15 +598,7 @@ func RunTCPTraced(spec Spec, msgSize int64, algo Algorithm, tracer Tracer) (*TCP
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer func() {
-				if rec := recover(); rec != nil {
-					e.abort()
-					select {
-					case errs <- fmt.Errorf("cluster: rank %d: %v", r, rec):
-					default:
-					}
-				}
-			}()
+			defer func() { recoverRank(recover(), &e.fails, e.abort, r) }()
 			p := &Proc{rank: r, spec: spec, met: &res.PerRank[r], eng: e, sizes: sizes}
 			mine := block.NewPlain(r, block.FillPattern(r, msgSize))
 			res.Results[r] = algo(p, mine)
@@ -387,16 +609,18 @@ func RunTCPTraced(spec Spec, msgSize int64, algo Algorithm, tracer Tracer) (*TCP
 	select {
 	case <-done:
 	case <-time.After(RealTimeout):
+		e.fails.record(&RankError{Rank: -1, Peer: -1, Op: "timeout",
+			Err: fmt.Errorf("tcp run exceeded %v on %v", RealTimeout, spec)})
 		e.abort()
-		return nil, fmt.Errorf("cluster: tcp run timed out after %v on %v", RealTimeout, spec)
+		// Every blocking point observes the abort, so the rank goroutines
+		// unwind promptly; wait for them instead of leaking them into the
+		// caller's process.
+		<-done
 	}
 	res.Elapsed = time.Since(start)
-	e.abort() // tear down connections; idempotent
-	e.readersWG.Wait()
-	select {
-	case err := <-errs:
+	teardown()
+	if err := e.fails.err(); err != nil {
 		return nil, err
-	default:
 	}
 	res.Critical = CriticalPath(res.PerRank)
 	return res, nil

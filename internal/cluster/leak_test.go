@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"encag/internal/block"
+	"encag/internal/fault"
+)
+
+// TestMain is a goroutine-leak fence over the whole package (including
+// the external chaos suite, which shares this test binary): after every
+// test has run, the process must drain back to its baseline goroutine
+// count. Crypto pool workers idle-exit after a second, so the fence
+// polls with a generous deadline before declaring a leak.
+func TestMain(m *testing.M) {
+	base := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if n := runtime.NumGoroutine(); n <= base+2 {
+				break
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				buf = buf[:runtime.Stack(buf, true)]
+				fmt.Fprintf(os.Stderr,
+					"goroutine leak: %d live, baseline %d\n%s\n",
+					runtime.NumGoroutine(), base, buf)
+				code = 1
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	os.Exit(code)
+}
+
+// ringStep keeps every rank mid-communication so failures land while
+// connections are busy.
+func ringStep(p *Proc, msg block.Message, rounds int) block.Message {
+	next := (p.Rank() + 1) % p.P()
+	prev := (p.Rank() - 1 + p.P()) % p.P()
+	for i := 0; i < rounds; i++ {
+		msg = p.SendRecv(next, msg, prev)
+	}
+	return msg
+}
+
+// A rank panic must surface as that rank's structured error — not as the
+// "use of closed network connection" cascade the teardown provokes on
+// every other rank.
+func TestTCPRankFailureSurfacesRootCause(t *testing.T) {
+	spec := Spec{P: 4, N: 2, Mapping: BlockMapping}
+	boom := func(p *Proc, mine block.Message) block.Message {
+		mine = ringStep(p, mine, 1)
+		if p.Rank() == 2 {
+			panic("boom: injected test failure")
+		}
+		return ringStep(p, mine, 6)
+	}
+	_, err := RunTCP(spec, 512, boom)
+	if err == nil {
+		t.Fatal("run with a panicking rank reported success")
+	}
+	var re *RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("error is %T, want *RankError: %v", err, err)
+	}
+	if re.Rank != 2 {
+		t.Fatalf("root cause attributed to rank %d, want 2: %v", re.Rank, err)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("root cause lost: %v", err)
+	}
+	if strings.Contains(err.Error(), "closed network connection") {
+		t.Fatalf("secondary teardown error masked the root cause: %v", err)
+	}
+}
+
+func TestRealRankFailureSurfacesRootCause(t *testing.T) {
+	spec := Spec{P: 4, N: 2, Mapping: BlockMapping}
+	boom := func(p *Proc, mine block.Message) block.Message {
+		mine = ringStep(p, mine, 1)
+		if p.Rank() == 1 {
+			panic("boom: injected test failure")
+		}
+		return ringStep(p, mine, 6)
+	}
+	_, err := RunReal(spec, 512, boom)
+	var re *RankError
+	if err == nil || !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RankError", err)
+	}
+	if re.Rank != 1 || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("root cause lost: %v", err)
+	}
+}
+
+// A message that never arrives must fail the starved rank with a bounded
+// structured recv error, not hang until the run-level timeout.
+func TestTCPRecvDeadline(t *testing.T) {
+	spec := Spec{P: 2, N: 1, Mapping: BlockMapping, RecvTimeout: 200 * time.Millisecond}
+	silent := func(p *Proc, mine block.Message) block.Message {
+		if p.Rank() == 0 {
+			p.Recv(1) // rank 1 never sends
+		}
+		return mine
+	}
+	start := time.Now()
+	_, err := RunTCP(spec, 64, silent)
+	elapsed := time.Since(start)
+	var re *RankError
+	if err == nil || !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RankError", err)
+	}
+	if re.Rank != 0 || re.Peer != 1 || re.Op != "recv" {
+		t.Fatalf("recv deadline misattributed: %+v", re)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("recv deadline took %v, want ~200ms", elapsed)
+	}
+}
+
+func TestRealRecvDeadline(t *testing.T) {
+	spec := Spec{P: 2, N: 1, Mapping: BlockMapping, RecvTimeout: 200 * time.Millisecond}
+	silent := func(p *Proc, mine block.Message) block.Message {
+		if p.Rank() == 0 {
+			p.Recv(1)
+		}
+		return mine
+	}
+	_, err := RunReal(spec, 64, silent)
+	var re *RankError
+	if err == nil || !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RankError", err)
+	}
+	if re.Rank != 0 || re.Peer != 1 || re.Op != "recv" {
+		t.Fatalf("recv deadline misattributed: %+v", re)
+	}
+}
+
+// The run-level timeout path must drain the rank goroutines (and the TCP
+// engine's readers) instead of leaking them into the caller's process.
+// Regression test for the old behavior where the timeout arm returned
+// immediately, abandoning blocked ranks.
+func TestTimeoutPathDrainsGoroutines(t *testing.T) {
+	oldTimeout := RealTimeout
+	RealTimeout = 400 * time.Millisecond
+	defer func() { RealTimeout = oldTimeout }()
+
+	// RecvTimeout far beyond RealTimeout so the run-level timeout is the
+	// arm that fires.
+	spec := Spec{P: 2, N: 1, Mapping: BlockMapping, RecvTimeout: time.Hour}
+	stuck := func(p *Proc, mine block.Message) block.Message {
+		if p.Rank() == 0 {
+			p.Recv(1)
+		} else {
+			p.Recv(0)
+		}
+		return mine
+	}
+
+	for name, run := range map[string]func() error{
+		"real": func() error { _, err := RunReal(spec, 64, stuck); return err },
+		"tcp":  func() error { _, err := RunTCP(spec, 64, stuck); return err },
+	} {
+		before := runtime.NumGoroutine()
+		err := run()
+		var re *RankError
+		if err == nil || !errors.As(err, &re) || re.Op != "timeout" {
+			t.Fatalf("%s: err = %v, want *RankError with Op timeout", name, err)
+		}
+		// Rank goroutines, readers and the done-waiter must be gone; poll
+		// briefly for the crypto pool's idle workers to wind down.
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > before+2 {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				buf = buf[:runtime.Stack(buf, true)]
+				t.Fatalf("%s: %d goroutines before run, %d after\n%s",
+					name, before, runtime.NumGoroutine(), buf)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+}
+
+// shortConn accepts at most cap bytes per Write, then reports a short
+// write — the failure mode the sniffer must not overcount on.
+type shortConn struct {
+	net.Conn // nil; only Write is used
+	cap      int
+	written  []byte
+}
+
+func (c *shortConn) Write(p []byte) (int, error) {
+	if len(p) <= c.cap {
+		c.written = append(c.written, p...)
+		return len(p), nil
+	}
+	c.written = append(c.written, p[:c.cap]...)
+	return c.cap, io.ErrShortWrite
+}
+
+// The sniffer must record only bytes the connection actually accepted:
+// an eavesdropper cannot see bytes that never hit the wire.
+func TestSnifferCountsOnlyWrittenBytes(t *testing.T) {
+	s := &WireSniffer{}
+	c := &sniffConn{Conn: &shortConn{cap: 4}, sniffer: s}
+	n, err := c.Write([]byte("abcdefgh"))
+	if n != 4 || err == nil {
+		t.Fatalf("short write = (%d, %v), want (4, error)", n, err)
+	}
+	if got := s.Total(); got != 4 {
+		t.Fatalf("sniffer recorded %d bytes, want the 4 actually written", got)
+	}
+	if !s.Contains([]byte("abcd")) || s.Contains([]byte("abcde")) {
+		t.Fatalf("sniffer capture mismatch: %q", s.Bytes())
+	}
+	// A full write is recorded whole.
+	if _, err := c.Write([]byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Total(); got != 6 {
+		t.Fatalf("sniffer total = %d, want 6", got)
+	}
+}
+
+// A run under a nil or empty plan behaves exactly like a clean run.
+func TestFaultyRunWithEmptyPlanIsClean(t *testing.T) {
+	spec := Spec{P: 4, N: 2, Mapping: BlockMapping}
+	for _, plan := range []*fault.Plan{nil, {}} {
+		res, err := RunTCPFaulty(spec, 1024, ringPlain, plan)
+		if err != nil {
+			t.Fatalf("plan %v: %v", plan, err)
+		}
+		if res.Sniffer == nil {
+			t.Fatal("no sniffer on faulty run result")
+		}
+	}
+}

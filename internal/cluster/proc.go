@@ -233,7 +233,7 @@ func (p *Proc) Encrypt(chunks ...block.Chunk) block.Chunk {
 	if s := p.eng.sealer(); s != nil {
 		blob, segs, err := s.SealSegmented(payloadSlices(chunks), block.EncodeHeader(blocks))
 		if err != nil {
-			panic(fmt.Sprintf("cluster: seal failed: %v", err))
+			panic(&RankError{Rank: p.rank, Peer: -1, Op: "seal", Err: err})
 		}
 		p.met.EncSegments += segs
 		out.Payload = blob
@@ -261,7 +261,9 @@ func (p *Proc) Decrypt(c block.Chunk) block.Chunk {
 		}
 		pt, segs, err := s.OpenSegmented(c.Payload, block.EncodeHeader(c.Blocks))
 		if err != nil {
-			panic(fmt.Sprintf("cluster: open failed at rank %d: %v", p.rank, err))
+			// Structured: the run reports this rank and the failing open
+			// (tampered or spliced ciphertext) as the root cause.
+			panic(&RankError{Rank: p.rank, Peer: -1, Op: "open", Err: err})
 		}
 		p.met.DecSegments += segs
 		out.Payload = pt

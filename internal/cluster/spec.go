@@ -21,6 +21,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // MappingKind selects how ranks are placed on nodes.
@@ -67,6 +68,14 @@ type Spec struct {
 	// Payloads at or above it are sealed as independent segments
 	// processed concurrently.
 	SegmentSize int64
+
+	// RecvTimeout bounds every single receive wait in the real and TCP
+	// engines: a rank waiting longer than this for a message (peer died,
+	// frame lost to an injected fault) fails with a structured recv
+	// error instead of deadlocking until the run-level timeout. 0
+	// selects DefaultRecvTimeout. Ignored by the sim engine, whose
+	// virtual time already surfaces deadlocks deterministically.
+	RecvTimeout time.Duration
 }
 
 // Validate checks that the spec is well-formed and balanced.
@@ -82,6 +91,9 @@ func (s Spec) Validate() error {
 	}
 	if s.SegmentSize < 0 {
 		return fmt.Errorf("cluster: SegmentSize must be non-negative, got %d", s.SegmentSize)
+	}
+	if s.RecvTimeout < 0 {
+		return fmt.Errorf("cluster: RecvTimeout must be non-negative, got %v", s.RecvTimeout)
 	}
 	if s.P%s.N != 0 {
 		return fmt.Errorf("cluster: P=%d is not a multiple of N=%d (the paper assumes balanced placement)", s.P, s.N)

@@ -1,0 +1,420 @@
+// Package fault is a deterministic, seedable fault-injection layer for
+// the transport engines. A Plan is a set of per-rank-pair rules ("drop
+// the 2->5 connection after 3 frames", "corrupt byte 17 of frame 1",
+// "stall 5ms before every send") and an Injector applies it at runtime:
+//
+//   - the TCP engine wraps each outbound net.Conn with Injector.WrapSend
+//     (byte-level drops, corruption, stalls, partial writes) and each
+//     accepted conn with Injector.WrapRecv (read delays);
+//   - the in-memory channel engine consults Injector.SendFrame per
+//     message and applies the verdict at message granularity (a dropped
+//     or partially written frame is simply lost in transit).
+//
+// Plans are pure data and rule application is keyed only on the ordered
+// rank pair and that pair's frame counter, so a given plan injects the
+// same faults on every run regardless of goroutine interleaving.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind is the class of fault a Rule injects.
+type Kind int
+
+const (
+	// Drop closes the connection instead of sending the target frame.
+	// The sender observes a write error; a transport with reconnect
+	// support recovers, one without reports it.
+	Drop Kind = iota
+	// Corrupt flips one byte of the target frame on the wire.
+	Corrupt
+	// Stall sleeps for Delay before sending the target frame.
+	Stall
+	// StallRead sleeps for Delay before each read on the receive side of
+	// the pair (frame targeting does not apply).
+	StallRead
+	// PartialWrite delivers only the first Keep bytes of the target
+	// frame, then fails the write.
+	PartialWrite
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Drop:
+		return "drop"
+	case Corrupt:
+		return "corrupt"
+	case Stall:
+		return "stall"
+	case StallRead:
+		return "stall-read"
+	case PartialWrite:
+		return "partial-write"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Rule injects one fault class on one directed rank pair.
+type Rule struct {
+	Src, Dst int // ordered pair; -1 matches any rank
+	// Frame is the 0-based frame index (per pair, counting every send
+	// attempt) the rule triggers on; -1 matches every frame.
+	Frame int
+	Kind  Kind
+	// Offset is the byte offset within the frame to corrupt (Corrupt).
+	Offset int
+	// Delay is the injected latency (Stall, StallRead).
+	Delay time.Duration
+	// Keep is how many bytes of the frame are delivered before the write
+	// fails (PartialWrite).
+	Keep int
+	// Times caps how often the rule fires: 0 means once, n > 0 means n
+	// times, negative means unlimited.
+	Times int
+}
+
+func (r Rule) matches(src, dst, frame int) bool {
+	if r.Src >= 0 && r.Src != src {
+		return false
+	}
+	if r.Dst >= 0 && r.Dst != dst {
+		return false
+	}
+	if r.Kind == StallRead {
+		return true // read delays are not frame-targeted
+	}
+	return r.Frame < 0 || r.Frame == frame
+}
+
+func (r Rule) String() string {
+	pair := fmt.Sprintf("%d->%d", r.Src, r.Dst)
+	switch r.Kind {
+	case Drop:
+		return fmt.Sprintf("drop %s at frame %d", pair, r.Frame)
+	case Corrupt:
+		return fmt.Sprintf("corrupt %s frame %d byte %d", pair, r.Frame, r.Offset)
+	case Stall:
+		return fmt.Sprintf("stall %s frame %d for %v", pair, r.Frame, r.Delay)
+	case StallRead:
+		return fmt.Sprintf("stall reads %s by %v", pair, r.Delay)
+	case PartialWrite:
+		return fmt.Sprintf("partial-write %s frame %d keep %d", pair, r.Frame, r.Keep)
+	}
+	return fmt.Sprintf("%v %s", r.Kind, pair)
+}
+
+// Plan is a reproducible fault schedule: apply the same plan to the same
+// workload and the same faults hit the same frames.
+type Plan struct {
+	// Seed records the generator seed for Random/Transient plans (purely
+	// informational for hand-built plans).
+	Seed  int64
+	Rules []Rule
+}
+
+func (p *Plan) String() string {
+	if p == nil || len(p.Rules) == 0 {
+		return "fault.Plan{}"
+	}
+	parts := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		parts[i] = r.String()
+	}
+	return fmt.Sprintf("fault.Plan{seed=%d: %s}", p.Seed, strings.Join(parts, "; "))
+}
+
+// Random generates a deterministic plan of n rules for a world of p
+// ranks, drawing from every fault kind (including corruption, which a
+// fail-closed transport is expected to turn into a structured error
+// rather than recover from).
+func Random(seed int64, p, n int) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	plan := &Plan{Seed: seed}
+	for i := 0; i < n; i++ {
+		plan.Rules = append(plan.Rules, randomRule(rng, p, true))
+	}
+	return plan
+}
+
+// Transient generates a deterministic plan of n rules limited to
+// recoverable faults (drops, stalls, read delays, partial writes): a
+// transport with reconnect support must complete correctly under any
+// Transient plan.
+func Transient(seed int64, p, n int) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	plan := &Plan{Seed: seed}
+	for i := 0; i < n; i++ {
+		plan.Rules = append(plan.Rules, randomRule(rng, p, false))
+	}
+	return plan
+}
+
+func randomRule(rng *rand.Rand, p int, corruption bool) Rule {
+	src := rng.Intn(p)
+	dst := rng.Intn(p)
+	for dst == src {
+		dst = rng.Intn(p)
+	}
+	r := Rule{Src: src, Dst: dst, Frame: rng.Intn(4)}
+	kinds := 4
+	if corruption {
+		kinds = 5
+	}
+	switch rng.Intn(kinds) {
+	case 0:
+		r.Kind = Drop
+	case 1:
+		r.Kind = Stall
+		r.Delay = time.Duration(1+rng.Intn(5)) * time.Millisecond
+	case 2:
+		r.Kind = StallRead
+		r.Delay = time.Duration(1+rng.Intn(3)) * time.Millisecond
+		r.Times = 1 + rng.Intn(4)
+	case 3:
+		r.Kind = PartialWrite
+		r.Keep = rng.Intn(40)
+	case 4:
+		r.Kind = Corrupt
+		r.Offset = rng.Intn(96)
+	}
+	return r
+}
+
+// Error marks a failure produced by the injector itself, so transports
+// and tests can distinguish injected faults from organic ones.
+type Error struct {
+	Kind     Kind
+	Src, Dst int
+	Frame    int
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %v on %d->%d at frame %d", e.Kind, e.Src, e.Dst, e.Frame)
+}
+
+// Verdict is the injector's decision for one outgoing frame.
+type Verdict struct {
+	Drop        bool
+	CorruptAt   int // byte offset to flip; -1 = none
+	PartialKeep int // bytes delivered before the write fails; -1 = none
+	Stall       time.Duration
+}
+
+type pair struct{ src, dst int }
+
+// Injector applies a Plan at runtime. All methods are safe for
+// concurrent use and safe on a nil receiver (no faults).
+type Injector struct {
+	mu     sync.Mutex
+	rules  []Rule
+	fired  []int
+	frames map[pair]int
+	sleep  func(time.Duration) // test seam; time.Sleep in production
+}
+
+// NewInjector builds an injector for a plan; a nil or empty plan yields
+// a nil injector, which injects nothing.
+func NewInjector(plan *Plan) *Injector {
+	if plan == nil || len(plan.Rules) == 0 {
+		return nil
+	}
+	return &Injector{
+		rules:  append([]Rule(nil), plan.Rules...),
+		fired:  make([]int, len(plan.Rules)),
+		frames: make(map[pair]int),
+		sleep:  time.Sleep,
+	}
+}
+
+// fire consumes one firing of rule i, reporting whether it may apply.
+// Callers hold in.mu.
+func (in *Injector) fire(i int) bool {
+	limit := in.rules[i].Times
+	if limit == 0 {
+		limit = 1
+	}
+	if limit > 0 && in.fired[i] >= limit {
+		return false
+	}
+	in.fired[i]++
+	return true
+}
+
+// SendFrame advances the pair's frame counter and returns the verdict
+// for that frame. Every send attempt (including a retry of the same
+// logical message) counts as a frame, keeping rule application
+// deterministic under reconnects.
+func (in *Injector) SendFrame(src, dst int) Verdict {
+	v := Verdict{CorruptAt: -1, PartialKeep: -1}
+	if in == nil {
+		return v
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	f := in.frames[pair{src, dst}]
+	in.frames[pair{src, dst}] = f + 1
+	for i, r := range in.rules {
+		if r.Kind == StallRead || !r.matches(src, dst, f) || !in.fire(i) {
+			continue
+		}
+		switch r.Kind {
+		case Drop:
+			v.Drop = true
+		case Corrupt:
+			v.CorruptAt = r.Offset
+		case Stall:
+			v.Stall += r.Delay
+		case PartialWrite:
+			v.PartialKeep = r.Keep
+		}
+	}
+	return v
+}
+
+// Frame reports the pair's current frame counter (frames attempted so
+// far), mainly for tests and diagnostics.
+func (in *Injector) Frame(src, dst int) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.frames[pair{src, dst}]
+}
+
+// ReadDelay returns the injected latency for one read on the receive
+// side of the pair.
+func (in *Injector) ReadDelay(src, dst int) time.Duration {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var d time.Duration
+	for i, r := range in.rules {
+		if r.Kind != StallRead || !r.matches(src, dst, 0) || !in.fire(i) {
+			continue
+		}
+		d += r.Delay
+	}
+	return d
+}
+
+// Sleep blocks for d using the injector's clock seam.
+func (in *Injector) Sleep(d time.Duration) {
+	if in == nil || d <= 0 {
+		return
+	}
+	in.sleep(d)
+}
+
+// Conn wraps the send side of one directed connection. The transport
+// calls StartFrame before writing each frame so the injector can target
+// frame boundaries; Write then applies the armed verdict byte-exactly.
+type Conn struct {
+	net.Conn
+	inj      *Injector
+	src, dst int
+
+	mu    sync.Mutex
+	v     Verdict
+	off   int // bytes of the current frame written so far
+	frame int
+}
+
+// WrapSend wraps an outbound src->dst connection with the plan's
+// send-side faults. A nil injector returns c unchanged.
+func (in *Injector) WrapSend(src, dst int, c net.Conn) net.Conn {
+	if in == nil {
+		return c
+	}
+	return &Conn{Conn: c, inj: in, src: src, dst: dst}
+}
+
+// StartFrame marks the beginning of a new outgoing frame, applies
+// stalls, and arms corruption/partial-write faults for the frame's
+// bytes. A Drop verdict closes the underlying connection and returns an
+// *Error; the caller treats it exactly like an organic write failure.
+func (c *Conn) StartFrame() error {
+	v := c.inj.SendFrame(c.src, c.dst)
+	if v.Stall > 0 {
+		c.inj.Sleep(v.Stall)
+	}
+	c.mu.Lock()
+	frame := c.inj.Frame(c.src, c.dst) - 1
+	c.v = v
+	c.off = 0
+	c.frame = frame
+	c.mu.Unlock()
+	if v.Drop {
+		c.Conn.Close()
+		return &Error{Kind: Drop, Src: c.src, Dst: c.dst, Frame: frame}
+	}
+	return nil
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	v := c.v
+	off := c.off
+	frame := c.frame
+	c.mu.Unlock()
+
+	if v.PartialKeep >= 0 {
+		keep := v.PartialKeep - off
+		if keep <= 0 {
+			return 0, &Error{Kind: PartialWrite, Src: c.src, Dst: c.dst, Frame: frame}
+		}
+		if keep < len(p) {
+			n, _ := c.Conn.Write(p[:keep])
+			c.advance(n)
+			return n, &Error{Kind: PartialWrite, Src: c.src, Dst: c.dst, Frame: frame}
+		}
+	}
+	if at := v.CorruptAt; at >= off && at < off+len(p) {
+		q := append([]byte(nil), p...)
+		q[at-off] ^= 0x40
+		p = q
+	}
+	n, err := c.Conn.Write(p)
+	c.advance(n)
+	return n, err
+}
+
+func (c *Conn) advance(n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.off += n
+	c.mu.Unlock()
+}
+
+// recvConn applies read delays on the receive side of one pair.
+type recvConn struct {
+	net.Conn
+	inj      *Injector
+	src, dst int
+}
+
+// WrapRecv wraps the receive side of a src->dst connection with the
+// plan's read-delay faults. A nil injector returns c unchanged.
+func (in *Injector) WrapRecv(src, dst int, c net.Conn) net.Conn {
+	if in == nil {
+		return c
+	}
+	return &recvConn{Conn: c, inj: in, src: src, dst: dst}
+}
+
+func (c *recvConn) Read(p []byte) (int, error) {
+	if d := c.inj.ReadDelay(c.src, c.dst); d > 0 {
+		c.inj.Sleep(d)
+	}
+	return c.Conn.Read(p)
+}

@@ -75,11 +75,12 @@ func TestRejectsGarbage(t *testing.T) {
 	if _, _, err := ReadMessage(bytes.NewReader(make([]byte, 64))); err == nil {
 		t.Fatal("zero magic accepted")
 	}
-	// Absurd chunk count must be rejected before allocation.
+	// Absurd chunk count must be rejected before allocation. The count
+	// sits after magic (4), src (4) and seq (8).
 	var buf bytes.Buffer
 	_ = WriteMessage(&buf, 0, block.Message{})
 	raw := buf.Bytes()
-	raw[8], raw[9], raw[10], raw[11] = 0xFF, 0xFF, 0xFF, 0xFF
+	raw[16], raw[17], raw[18], raw[19] = 0xFF, 0xFF, 0xFF, 0xFF
 	if _, _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
 		t.Fatal("absurd chunk count accepted")
 	}
@@ -194,6 +195,32 @@ func FuzzReadMessage(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _, _ = ReadMessage(bytes.NewReader(data))
 	})
+}
+
+// Sequence numbers survive the codec; WriteMessage defaults to seq 0.
+func TestSequenceNumberRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msg := block.NewPlain(2, []byte("payload"))
+	for _, seq := range []uint64{0, 1, 7, 1 << 40, ^uint64(0)} {
+		buf.Reset()
+		if err := WriteMessageSeq(&buf, 5, seq, msg); err != nil {
+			t.Fatal(err)
+		}
+		src, gotSeq, got, err := ReadMessageSeq(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src != 5 || gotSeq != seq || len(got.Chunks) != 1 {
+			t.Fatalf("seq %d decoded as src=%d seq=%d chunks=%d", seq, src, gotSeq, len(got.Chunks))
+		}
+	}
+	buf.Reset()
+	if err := WriteMessage(&buf, 1, msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, seq, _, err := ReadMessageSeq(&buf); err != nil || seq != 0 {
+		t.Fatalf("WriteMessage seq = %d, %v; want 0, nil", seq, err)
+	}
 }
 
 // Streams of frames decode in order.
