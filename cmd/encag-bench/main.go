@@ -10,6 +10,7 @@
 //	encag-bench -exp fig5 -jsonl # emit JSONL run summaries (one object per row)
 //	encag-bench -quick           # trimmed sizes for a fast smoke run
 //	encag-bench -list            # list experiment IDs
+//	encag-bench -session -iters 20 -jsonl   # session-amortization study only
 package main
 
 import (
@@ -29,7 +30,12 @@ func main() {
 	quick := flag.Bool("quick", false, "trim large sizes for a fast run")
 	outDir := flag.String("out", "", "also write each table as CSV into this directory")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	session := flag.Bool("session", false, "shortcut for -exp session (per-call dial vs session reuse)")
+	iters := flag.Int("iters", 0, "iteration count for host-measuring experiments (0 = default)")
 	flag.Parse()
+	if *session {
+		*exp = "session"
+	}
 
 	if *list {
 		for _, e := range bench.All() {
@@ -48,7 +54,7 @@ func main() {
 		experiments = []bench.Experiment{e}
 	}
 
-	opts := bench.Options{Quick: *quick}
+	opts := bench.Options{Quick: *quick, Iters: *iters}
 	for _, e := range experiments {
 		start := time.Now()
 		tables, err := e.Run(opts)

@@ -12,9 +12,16 @@
 // Example:
 //
 //	encag-osu -p 32 -nodes 4 -algs naive,hs2 -sizes 1KB,64KB -iters 20
+//	encag-osu -session -engine tcp -iters 50   # persistent-session mode
+//
+// With -session, all iterations of all configurations run over ONE
+// persistent encag.Session (mesh dialed once); without it, every
+// iteration is an independent one-shot run — the difference is the
+// setup amortization the session runtime provides.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -54,6 +61,8 @@ func main() {
 	asCSV := flag.Bool("csv", false, "emit CSV")
 	cryptoWorkers := flag.Int("crypto-workers", 0, "AES-GCM worker pool size (0 = shared GOMAXPROCS pool)")
 	segmentStr := flag.String("segment-size", "", "AES-GCM segmentation split size, e.g. 64KB (empty = default)")
+	useSession := flag.Bool("session", false, "run all iterations over one persistent Session instead of per-call runs")
+	engineStr := flag.String("engine", "chan", "execution engine: chan or tcp")
 	flag.Parse()
 
 	var segSize int64
@@ -78,11 +87,42 @@ func main() {
 	}
 	algs := strings.Split(*algsStr, ",")
 
+	engine := encag.Engine(*engineStr)
+	if engine != encag.EngineChan && engine != encag.EngineTCP {
+		fmt.Fprintf(os.Stderr, "unknown -engine %q (want chan or tcp)\n", *engineStr)
+		os.Exit(2)
+	}
+	var sess *encag.Session
+	if *useSession {
+		s, err := encag.OpenSession(context.Background(), spec, encag.WithEngine(engine))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer s.Close()
+		sess = s
+	}
+	// runOnce executes one collective in the selected mode: over the
+	// shared persistent session, or as an independent one-shot run.
+	runOnce := func(alg string, m int64) (*encag.RunResult, error) {
+		if sess != nil {
+			return sess.Run(context.Background(), alg, m)
+		}
+		if engine == encag.EngineTCP {
+			res, err := encag.RunOverTCP(spec, alg, m)
+			if err != nil {
+				return nil, err
+			}
+			return &res.RunResult, nil
+		}
+		return encag.Run(spec, alg, m)
+	}
+
 	if *asCSV {
 		fmt.Println("alg,size,avg_us,min_us,max_us,stddev_us,rd,sd")
 	} else {
-		fmt.Printf("# encag-osu  p=%d nodes=%d mapping=%s iters=%d (wall clock, real AES-GCM)\n",
-			*p, *nodes, *mapping, *iters)
+		fmt.Printf("# encag-osu  p=%d nodes=%d mapping=%s iters=%d engine=%s session=%v (wall clock, real AES-GCM)\n",
+			*p, *nodes, *mapping, *iters, engine, *useSession)
 		fmt.Printf("%-8s %-8s %12s %12s %12s %12s %8s %12s\n",
 			"alg", "size", "avg", "min", "max", "stddev", "rd", "sd")
 	}
@@ -94,7 +134,7 @@ func main() {
 			var metrics encag.Metrics
 			ok := true
 			for i := 0; i < *warmup+*iters; i++ {
-				res, err := encag.Run(spec, alg, m)
+				res, err := runOnce(alg, m)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "%s @%s: %v\n", alg, bench.SizeName(m), err)
 					ok = false

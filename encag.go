@@ -4,97 +4,108 @@
 // MPI_Allgather algorithms that protect inter-node traffic while meeting
 // the theoretical lower bounds on encryption and decryption cost.
 //
-// Entry points:
+// The primary entry point is the Session runtime: OpenSession stands up
+// a persistent encrypted runtime once (for EngineTCP that means
+// listeners, the O(p²) dialed connection mesh, handshakes and per-pair
+// crypto state), then Session.Run / Session.Allgather /
+// Session.AllgatherV / Session.Allreduce / Session.Simulate execute any
+// number of collectives over it, each bounded by a context.Context and
+// configured with functional options (WithTracer, WithFaultPlan, ...).
 //
-//   - Allgather / AllgatherV / Run execute an encrypted all-gather for
-//     real: every rank is a goroutine, payloads are real bytes,
-//     inter-node chunks are really AES-GCM sealed, and the transport
-//     audits that no plaintext ever crosses a node boundary. AllgatherV
-//     accepts unequal (even zero-length) contributions.
+// Three engines execute the same algorithm code:
 //
-//   - RunOverTCP executes the same algorithms over real loopback TCP
-//     sockets and captures every inter-node wire byte, so the result can
+//   - EngineChan (Allgather / AllgatherV / Run): every rank is a
+//     goroutine, payloads are real bytes, inter-node chunks are really
+//     AES-GCM sealed, and the transport audits that no plaintext ever
+//     crosses a node boundary. AllgatherV accepts unequal (even
+//     zero-length) contributions.
+//
+//   - EngineTCP (RunOverTCP): the same algorithms over real loopback TCP
+//     sockets, capturing every inter-node wire byte, so the result can
 //     state whether an eavesdropper saw any plaintext.
 //
-//   - Simulate / SimulateV execute the same algorithm code on a
-//     deterministic discrete-event cluster model (flow-level NIC
-//     contention, Hockney startup costs, modelled GCM throughput) and
-//     report the projected latency plus the paper's six cost metrics —
-//     this is what regenerates the paper's tables and figures at p=1024
-//     scale.
+//   - EngineSim (Simulate / SimulateV): a deterministic discrete-event
+//     cluster model (flow-level NIC contention, Hockney startup costs,
+//     modelled GCM throughput) reporting the projected latency plus the
+//     paper's six cost metrics — this is what regenerates the paper's
+//     tables and figures at p=1024 scale.
 //
-//   - RunTraced / AllgatherTraced / RunOverTCPTraced / SimulateTraced
-//     additionally return the per-rank activity timeline (send,
-//     recv-wait, encrypt, decrypt, copy, barrier) — wall-clock spans for
-//     the real engines, virtual-time spans for the simulator — enabling
-//     side-by-side model-vs-measurement comparison (see cmd/encag-trace
-//     for Chrome/Perfetto and JSONL export).
-//
-//   - Allreduce generalizes the approach to an encrypted all-reduce.
+// The package-level functions (Run, Allgather, RunOverTCP, Simulate,
+// their traced and faulty variants, Allreduce) are one-shot wrappers
+// that open a Session, run a single collective and close it; they are
+// kept for compatibility and deprecated in favor of the Session API,
+// which amortizes setup across operations.
 //
 //   - LowerBounds / Predict evaluate the paper's Table I bounds and
-//     Table II closed forms.
+//     Table II closed forms (pure analysis, no engine involved).
 //
 // Algorithms are selected by name — see Algorithms and PaperAlgorithms;
 // "auto" picks by message size the way production MPI libraries do.
+// Every algorithm name is valid on every engine.
 package encag
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
-	"encag/internal/block"
 	"encag/internal/bounds"
 	"encag/internal/cluster"
 	"encag/internal/collective"
 	"encag/internal/cost"
 	"encag/internal/encrypted"
 	"encag/internal/fault"
-	"encag/internal/trace"
 )
 
-// Profile is a machine model (latencies, bandwidths, GCM throughput).
+// Profile is a machine model (latencies, bandwidths, GCM throughput)
+// consumed by EngineSim via WithProfile; the real engines (chan, tcp)
+// measure instead of model and ignore it.
 type Profile = cost.Profile
 
 // Noleland returns the profile of the paper's local cluster (Intel Xeon
-// Gold 6130, 100 Gb/s InfiniBand).
+// Gold 6130, 100 Gb/s InfiniBand) for EngineSim.
 func Noleland() Profile { return cost.Noleland() }
 
 // Bridges2 returns the profile of PSC Bridges-2 (AMD EPYC 7742, 200 Gb/s
-// InfiniBand).
+// InfiniBand) for EngineSim.
 func Bridges2() Profile { return cost.Bridges2() }
 
-// ProfileByName looks up a built-in profile ("noleland" or "bridges2").
+// ProfileByName looks up a built-in EngineSim profile ("noleland" or
+// "bridges2").
 func ProfileByName(name string) (Profile, error) { return cost.ByName(name) }
 
 // Metrics is the paper's six-metric cost summary of a run (maxima over
-// ranks, the per-metric critical path).
+// ranks, the per-metric critical path). Produced by all three engines.
 type Metrics = cluster.Critical
 
 // TraceEvent is one interval of activity on one rank: what it was doing
 // (send, recv-wait, encrypt, decrypt, copy, barrier), when, over how
-// many bytes, and with which peer.
+// many bytes, and with which peer. Emitted by all three engines when a
+// tracer is attached.
 type TraceEvent = cluster.TraceEvent
 
 // TraceKind labels a TraceEvent's activity category.
 type TraceKind = cluster.TraceKind
 
 // Trace is the collected activity timeline of a traced run. Event times
-// are seconds since the operation started: virtual seconds for
-// SimulateTraced, wall-clock seconds for RunTraced and RunOverTCPTraced
-// — the same stream in both cases, so a predicted and a measured
-// timeline can be compared directly (see internal/obs for exporters).
+// are seconds since the operation started: virtual seconds on EngineSim
+// (SimulateTraced), wall-clock seconds on EngineChan and EngineTCP
+// (RunTraced, RunOverTCPTraced) — the same stream in both cases, so a
+// predicted and a measured timeline can be compared directly (see
+// internal/obs for exporters).
 type Trace struct {
 	Events []TraceEvent
 }
 
-// BoundSet carries Table I / Table II style metric tuples.
+// BoundSet carries Table I / Table II style metric tuples (pure
+// analysis; no engine involved).
 type BoundSet = bounds.Metrics
 
 // Spec describes a job: Procs ranks over Nodes nodes, with a "block",
-// "cyclic" or custom placement.
+// "cyclic" or custom placement. It is engine-independent; per-field
+// notes state which engines consume each tuning knob.
 type Spec struct {
 	Procs   int
 	Nodes   int
@@ -102,17 +113,17 @@ type Spec struct {
 	Custom  []int  // rank -> node, for "custom"
 
 	// CryptoWorkers bounds the parallelism of the segmented AES-GCM
-	// crypto engine used by the real and TCP execution engines: 0 shares
+	// crypto engine used by the chan and tcp engines: 0 shares
 	// a process-wide pool sized by GOMAXPROCS, n > 0 dedicates n workers
 	// to this run. The simulator models crypto cost and ignores it.
 	CryptoWorkers int
 	// SegmentSize is the AES-GCM segmentation split size in bytes for
-	// the real and TCP engines; 0 selects the 64 KiB default. Payloads
+	// the chan and tcp engines; 0 selects the 64 KiB default. Payloads
 	// at or above it are sealed as independently encrypted segments
 	// processed concurrently (and still authenticated as one unit).
 	SegmentSize int64
 
-	// RecvTimeout bounds every single receive wait in the real and TCP
+	// RecvTimeout bounds every single receive wait in the chan and tcp
 	// engines: a rank waiting longer than this for a message (peer died,
 	// frame lost to an injected fault) fails with a structured RankError
 	// instead of hanging until the run-level timeout. 0 selects the
@@ -170,7 +181,8 @@ func lookup(name string) (cluster.Algorithm, error) {
 	return encrypted.Get(name)
 }
 
-// Algorithms lists every selectable algorithm name.
+// Algorithms lists every selectable algorithm name. Every name runs on
+// every engine.
 func Algorithms() []string {
 	names := append([]string(nil), encrypted.Names()...)
 	for _, n := range encrypted.Names() {
@@ -185,7 +197,8 @@ func Algorithms() []string {
 // II order.
 func PaperAlgorithms() []string { return encrypted.PaperNames() }
 
-// SimResult is the outcome of Simulate.
+// SimResult is the outcome of an EngineSim collective (Simulate,
+// Session.Simulate).
 type SimResult struct {
 	Latency    time.Duration // modelled completion time of the last rank
 	Metrics    Metrics       // six-metric critical path
@@ -193,34 +206,24 @@ type SimResult struct {
 	IntraBytes float64
 }
 
-// Simulate runs an algorithm on the modelled cluster and reports the
-// projected latency and cost metrics. msgSize is the per-rank block in
-// bytes.
+// Simulate runs an algorithm on the modelled cluster (EngineSim) and
+// reports the projected latency and cost metrics. msgSize is the
+// per-rank block in bytes.
+//
+// Deprecated: use OpenSession with WithEngine(EngineSim) and
+// WithProfile, then Session.Simulate, to run many simulations over one
+// session.
 func Simulate(spec Spec, prof Profile, algorithm string, msgSize int64) (SimResult, error) {
-	cs, err := spec.toCluster()
+	s, err := OpenSession(context.Background(), spec, WithEngine(EngineSim), WithProfile(prof))
 	if err != nil {
 		return SimResult{}, err
 	}
-	alg, err := lookup(algorithm)
-	if err != nil {
-		return SimResult{}, err
-	}
-	res, err := cluster.RunSim(cs, prof, msgSize, alg)
-	if err != nil {
-		return SimResult{}, err
-	}
-	if err := cluster.ValidateGather(cs, msgSize, res.Results, false); err != nil {
-		return SimResult{}, fmt.Errorf("encag: %s produced an invalid gather: %w", algorithm, err)
-	}
-	return SimResult{
-		Latency:    res.LatencyD,
-		Metrics:    res.Critical,
-		InterBytes: res.InterBytes,
-		IntraBytes: res.IntraBytes,
-	}, nil
+	defer s.Close()
+	return s.Simulate(context.Background(), algorithm, msgSize)
 }
 
-// RunResult is the outcome of Run/Allgather: the real-execution report.
+// RunResult is the outcome of a real-execution collective on the chan or
+// tcp engine (Run/Allgather and Session equivalents).
 type RunResult struct {
 	// Gathered[rank][origin] is origin's block as assembled at rank.
 	Gathered [][][]byte
@@ -235,126 +238,64 @@ type RunResult struct {
 }
 
 // Allgather executes an encrypted all-gather for real over in-memory
-// transport: data[r] is rank r's contribution (all equal length), and
-// the result reports every rank's gathered view plus the security audit.
+// transport (EngineChan): data[r] is rank r's contribution (all equal
+// length), and the result reports every rank's gathered view plus the
+// security audit.
+//
+// Deprecated: use OpenSession and Session.Allgather to run many
+// collectives over one session.
 func Allgather(spec Spec, algorithm string, data [][]byte) (*RunResult, error) {
 	return allgather(spec, algorithm, data, nil)
 }
 
-func allgather(spec Spec, algorithm string, data [][]byte, tracer cluster.Tracer) (*RunResult, error) {
-	cs, err := spec.toCluster()
+// allgather backs the deprecated one-shot chan-engine entry points with
+// a single-use Session.
+func allgather(spec Spec, algorithm string, data [][]byte, col *TraceCollector) (*RunResult, error) {
+	var opts []Option
+	if col != nil {
+		opts = append(opts, WithTracer(col))
+	}
+	s, err := OpenSession(context.Background(), spec, opts...)
 	if err != nil {
 		return nil, err
 	}
-	if len(data) != cs.P {
-		return nil, fmt.Errorf("encag: %d contributions for %d ranks", len(data), cs.P)
-	}
-	msgSize := int64(len(data[0]))
-	alg, err := lookup(algorithm)
-	if err != nil {
-		return nil, err
-	}
-	res, err := cluster.RunRealDataTraced(cs, msgSize, data, alg, tracer)
-	if err != nil {
-		return nil, err
-	}
-	if err := cluster.ValidateGather(cs, msgSize, res.Results, false); err != nil {
-		return nil, fmt.Errorf("encag: %s produced an invalid gather: %w", algorithm, err)
-	}
-	out := &RunResult{
-		Gathered:      make([][][]byte, cs.P),
-		Metrics:       res.Critical,
-		SecurityOK:    res.Audit.Clean() && !res.Sealer.DuplicateNonceSeen(),
-		InterMessages: res.Audit.InterMsgs,
-		IntraMessages: res.Audit.IntraMsgs,
-		Violations:    append([]string(nil), res.Audit.Violations...),
-		Elapsed:       res.Elapsed,
-	}
-	for r, msg := range res.Results {
-		payloads, err := block.Normalize(msg, cs.P, msgSize, false)
-		if err != nil {
-			return nil, fmt.Errorf("encag: rank %d: %w", r, err)
-		}
-		out.Gathered[r] = payloads
-	}
-	return out, nil
+	defer s.Close()
+	return s.Allgather(context.Background(), algorithm, data)
 }
 
-// AllgatherV is the variable-block-size (all-gatherv) extension: each
-// rank's contribution may have a different length, including zero. The
-// paper's algorithms generalize directly — blocks are opaque units to
-// every exchange schedule — and the same security guarantees are
-// enforced.
+// AllgatherV is the variable-block-size (all-gatherv) extension on
+// EngineChan: each rank's contribution may have a different length,
+// including zero. The paper's algorithms generalize directly — blocks
+// are opaque units to every exchange schedule — and the same security
+// guarantees are enforced.
+//
+// Deprecated: use OpenSession and Session.AllgatherV to run many
+// collectives over one session.
 func AllgatherV(spec Spec, algorithm string, data [][]byte) (*RunResult, error) {
-	cs, err := spec.toCluster()
+	s, err := OpenSession(context.Background(), spec)
 	if err != nil {
 		return nil, err
 	}
-	if len(data) != cs.P {
-		return nil, fmt.Errorf("encag: %d contributions for %d ranks", len(data), cs.P)
-	}
-	alg, err := lookup(algorithm)
-	if err != nil {
-		return nil, err
-	}
-	res, err := cluster.RunRealV(cs, data, alg)
-	if err != nil {
-		return nil, err
-	}
-	sizes := make([]int64, cs.P)
-	for r := range sizes {
-		sizes[r] = int64(len(data[r]))
-	}
-	if err := cluster.ValidateGatherV(cs, sizes, res.Results, false); err != nil {
-		return nil, fmt.Errorf("encag: %s produced an invalid gatherv: %w", algorithm, err)
-	}
-	out := &RunResult{
-		Gathered:      make([][][]byte, cs.P),
-		Metrics:       res.Critical,
-		SecurityOK:    res.Audit.Clean() && !res.Sealer.DuplicateNonceSeen(),
-		InterMessages: res.Audit.InterMsgs,
-		IntraMessages: res.Audit.IntraMsgs,
-		Violations:    append([]string(nil), res.Audit.Violations...),
-		Elapsed:       res.Elapsed,
-	}
-	for r, msg := range res.Results {
-		payloads, err := block.NormalizeV(msg, sizes, false)
-		if err != nil {
-			return nil, fmt.Errorf("encag: rank %d: %w", r, err)
-		}
-		out.Gathered[r] = payloads
-	}
-	return out, nil
+	defer s.Close()
+	return s.AllgatherV(context.Background(), algorithm, data)
 }
 
-// SimulateV is the all-gatherv variant of Simulate: sizes[r] is rank r's
-// contribution length in bytes.
+// SimulateV is the all-gatherv variant of Simulate (EngineSim): sizes[r]
+// is rank r's contribution length in bytes.
+//
+// Deprecated: use OpenSession with WithEngine(EngineSim) and
+// WithProfile, then Session.SimulateV.
 func SimulateV(spec Spec, prof Profile, algorithm string, sizes []int64) (SimResult, error) {
-	cs, err := spec.toCluster()
+	s, err := OpenSession(context.Background(), spec, WithEngine(EngineSim), WithProfile(prof))
 	if err != nil {
 		return SimResult{}, err
 	}
-	alg, err := lookup(algorithm)
-	if err != nil {
-		return SimResult{}, err
-	}
-	res, err := cluster.RunSimV(cs, prof, sizes, alg)
-	if err != nil {
-		return SimResult{}, err
-	}
-	if err := cluster.ValidateGatherV(cs, sizes, res.Results, false); err != nil {
-		return SimResult{}, fmt.Errorf("encag: %s produced an invalid gatherv: %w", algorithm, err)
-	}
-	return SimResult{
-		Latency:    res.LatencyD,
-		Metrics:    res.Critical,
-		InterBytes: res.InterBytes,
-		IntraBytes: res.IntraBytes,
-	}, nil
+	defer s.Close()
+	return s.SimulateV(context.Background(), algorithm, sizes)
 }
 
 // TCPResult extends RunResult with the byte-level wire capture of the
-// TCP transport.
+// TCP transport (EngineTCP only).
 type TCPResult struct {
 	RunResult
 	// WireBytes is the total volume an inter-node eavesdropper observed.
@@ -367,20 +308,26 @@ type TCPResult struct {
 	WireTruncated bool
 }
 
-// RunOverTCP executes the algorithm over real loopback TCP sockets with
-// the deterministic test payloads: every rank gets its own listener,
-// every rank pair a dedicated connection, and all inter-node traffic is
-// captured so the result can state — at the byte level — whether any
-// plaintext block was visible to an eavesdropper.
+// RunOverTCP executes the algorithm over real loopback TCP sockets
+// (EngineTCP) with the deterministic test payloads: every rank gets its
+// own listener, every rank pair a dedicated connection, and all
+// inter-node traffic is captured so the result can state — at the byte
+// level — whether any plaintext block was visible to an eavesdropper.
+//
+// Deprecated: use OpenSession with WithEngine(EngineTCP) and
+// Session.Run — a session dials the connection mesh once and reuses it
+// for every collective, while this wrapper re-pays the O(p²) setup on
+// every call.
 func RunOverTCP(spec Spec, algorithm string, msgSize int64) (*TCPResult, error) {
 	return runOverTCP(spec, algorithm, msgSize, nil, nil)
 }
 
 // FaultPlan is a deterministic, seedable fault-injection schedule for
-// the transport: per-rank-pair rules injecting connection drops, frame
-// corruption, stalls, read delays and partial writes. Build one by hand
-// from FaultRules, or generate one with RandomFaultPlan or
-// TransientFaultPlan.
+// the transport (chan and tcp engines): per-rank-pair rules injecting
+// connection drops, frame corruption, stalls, read delays and partial
+// writes. Build one by hand from FaultRules, or generate one with
+// RandomFaultPlan or TransientFaultPlan, and apply it with WithFaultPlan
+// (or the deprecated RunFaulty/RunTCPFaulty wrappers).
 type FaultPlan = fault.Plan
 
 // FaultRule is one per-rank-pair fault of a FaultPlan.
@@ -408,9 +355,10 @@ func RandomFaultPlan(seed int64, procs, n int) *FaultPlan { return fault.Random(
 // TCP transport must complete correctly under any such plan.
 func TransientFaultPlan(seed int64, procs, n int) *FaultPlan { return fault.Transient(seed, procs, n) }
 
-// RankError is the structured failure report of a run: the first rank
-// that hit a root-cause error, the peer involved, the operation, and
-// the underlying error. Retrieve it with errors.As.
+// RankError is the structured failure report of a real-engine run (chan
+// or tcp): the first rank that hit a root-cause error, the peer
+// involved, the operation, and the underlying error. Retrieve it with
+// errors.As. Cancelled session collectives report Op "cancel".
 type RankError = cluster.RankError
 
 // RunTCPFaulty is RunOverTCP under a fault-injection plan. The
@@ -421,115 +369,91 @@ type RankError = cluster.RankError
 // buffers or returns a single *RankError identifying the first faulting
 // rank, peer and operation. It never panics, deadlocks or leaks
 // goroutines, whatever the plan.
+//
+// Deprecated: use OpenSession with WithEngine(EngineTCP) and
+// WithFaultPlan (or a per-operation WithFaultPlan on Session.Run).
 func RunTCPFaulty(spec Spec, algorithm string, msgSize int64, plan *FaultPlan) (*TCPResult, error) {
 	return runOverTCP(spec, algorithm, msgSize, nil, plan)
 }
 
 // RunFaulty is Run under a fault-injection plan, applied at message
-// granularity on the in-memory channel transport: corruption is caught
-// by authenticated decryption, and a dropped message surfaces as a
-// bounded structured recv error at the starved peer (the channel
-// transport has no connection to re-establish). Same invariant as
-// RunTCPFaulty: verified completion or a single *RankError.
+// granularity on the in-memory channel transport (EngineChan):
+// corruption is caught by authenticated decryption, and a dropped
+// message surfaces as a bounded structured recv error at the starved
+// peer (the channel transport has no connection to re-establish). Same
+// invariant as RunTCPFaulty: verified completion or a single *RankError.
+//
+// Deprecated: use OpenSession with WithFaultPlan (or a per-operation
+// WithFaultPlan on Session.Run).
 func RunFaulty(spec Spec, algorithm string, msgSize int64, plan *FaultPlan) (*RunResult, error) {
-	cs, err := spec.toCluster()
+	if plan == nil {
+		plan = &FaultPlan{} // keep the strict faulty-path validation
+	}
+	s, err := OpenSession(context.Background(), spec, WithFaultPlan(plan))
 	if err != nil {
 		return nil, err
 	}
-	alg, err := lookup(algorithm)
-	if err != nil {
-		return nil, err
-	}
-	res, err := cluster.RunRealFaulty(cs, msgSize, alg, plan)
-	if err != nil {
-		return nil, err
-	}
-	if err := cluster.ValidateGather(cs, msgSize, res.Results, true); err != nil {
-		return nil, fmt.Errorf("encag: %s produced an invalid gather under faults: %w", algorithm, err)
-	}
-	out := &RunResult{
-		Gathered:      make([][][]byte, cs.P),
-		Metrics:       res.Critical,
-		SecurityOK:    res.Audit.Clean() && !res.Sealer.DuplicateNonceSeen(),
-		InterMessages: res.Audit.InterMsgs,
-		IntraMessages: res.Audit.IntraMsgs,
-		Violations:    append([]string(nil), res.Audit.Violations...),
-		Elapsed:       res.Elapsed,
-	}
-	for r, msg := range res.Results {
-		payloads, err := block.Normalize(msg, cs.P, msgSize, false)
-		if err != nil {
-			return nil, fmt.Errorf("encag: rank %d: %w", r, err)
-		}
-		out.Gathered[r] = payloads
-	}
-	return out, nil
+	defer s.Close()
+	return s.Run(context.Background(), algorithm, msgSize)
 }
 
-func runOverTCP(spec Spec, algorithm string, msgSize int64, tracer cluster.Tracer, plan *fault.Plan) (*TCPResult, error) {
-	cs, err := spec.toCluster()
-	if err != nil {
-		return nil, err
+// runOverTCP backs the deprecated one-shot tcp-engine entry points with
+// a single-use Session.
+func runOverTCP(spec Spec, algorithm string, msgSize int64, col *TraceCollector, plan *FaultPlan) (*TCPResult, error) {
+	opts := []Option{WithEngine(EngineTCP)}
+	if col != nil {
+		opts = append(opts, WithTracer(col))
 	}
-	alg, err := lookup(algorithm)
-	if err != nil {
-		return nil, err
-	}
-	var res *cluster.TCPResult
 	if plan != nil {
-		res, err = cluster.RunTCPFaulty(cs, msgSize, alg, plan)
-	} else {
-		res, err = cluster.RunTCPTraced(cs, msgSize, alg, tracer)
+		opts = append(opts, WithFaultPlan(plan))
 	}
+	s, err := OpenSession(context.Background(), spec, opts...)
 	if err != nil {
 		return nil, err
 	}
-	if err := cluster.ValidateGather(cs, msgSize, res.Results, true); err != nil {
-		return nil, fmt.Errorf("encag: %s produced an invalid gather over TCP: %w", algorithm, err)
+	defer s.Close()
+	rr, err := s.Run(context.Background(), algorithm, msgSize)
+	if err != nil {
+		return nil, err
 	}
-	out := &TCPResult{
-		RunResult: RunResult{
-			Metrics:       res.Critical,
-			SecurityOK:    res.Audit.Clean() && !res.Sealer.DuplicateNonceSeen(),
-			InterMessages: res.Audit.InterMsgs,
-			IntraMessages: res.Audit.IntraMsgs,
-			Violations:    append([]string(nil), res.Audit.Violations...),
-			Elapsed:       res.Elapsed,
-		},
-		WireBytes:     res.Sniffer.Total(),
-		WireClean:     true,
-		WireTruncated: res.Sniffer.Truncated(),
-	}
-	for r := 0; r < cs.P; r++ {
-		if msgSize >= 16 && res.Sniffer.Contains(block.FillPattern(r, msgSize)) {
-			out.WireClean = false
-			break
-		}
-	}
-	return out, nil
+	rr.Gathered = nil // the legacy TCP report never carried the payload view
+	wire := s.Wire()
+	return &TCPResult{
+		RunResult:     *rr,
+		WireBytes:     wire.Bytes,
+		WireClean:     s.WireClean(msgSize),
+		WireTruncated: wire.Truncated,
+	}, nil
 }
 
 // Run is Allgather with deterministic per-rank test payloads of msgSize
-// bytes — handy for demos and self-checks.
+// bytes on EngineChan — handy for demos and self-checks.
+//
+// Deprecated: use OpenSession and Session.Run to run many collectives
+// over one session.
 func Run(spec Spec, algorithm string, msgSize int64) (*RunResult, error) {
-	data := make([][]byte, spec.Procs)
-	for r := range data {
-		data[r] = block.FillPattern(r, msgSize)
+	s, err := OpenSession(context.Background(), spec)
+	if err != nil {
+		return nil, err
 	}
-	return Allgather(spec, algorithm, data)
+	defer s.Close()
+	return s.Run(context.Background(), algorithm, msgSize)
 }
 
 // RunTraced is Run with wall-clock tracing: alongside the result it
 // returns the measured activity timeline of every rank — each send,
 // recv-wait, encrypt, decrypt, copy and barrier interval, in seconds
 // since the collective started.
+//
+// Deprecated: use OpenSession with WithTracer and Session.Run.
 func RunTraced(spec Spec, algorithm string, msgSize int64) (*RunResult, *Trace, error) {
-	data := make([][]byte, spec.Procs)
-	for r := range data {
-		data[r] = block.FillPattern(r, msgSize)
+	col := &TraceCollector{}
+	s, err := OpenSession(context.Background(), spec, WithTracer(col))
+	if err != nil {
+		return nil, nil, err
 	}
-	col := &trace.Collector{}
-	res, err := allgather(spec, algorithm, data, col)
+	defer s.Close()
+	res, err := s.Run(context.Background(), algorithm, msgSize)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -537,8 +461,10 @@ func RunTraced(spec Spec, algorithm string, msgSize int64) (*RunResult, *Trace, 
 }
 
 // AllgatherTraced is Allgather with wall-clock tracing (see RunTraced).
+//
+// Deprecated: use OpenSession with WithTracer and Session.Allgather.
 func AllgatherTraced(spec Spec, algorithm string, data [][]byte) (*RunResult, *Trace, error) {
-	col := &trace.Collector{}
+	col := &TraceCollector{}
 	res, err := allgather(spec, algorithm, data, col)
 	if err != nil {
 		return nil, nil, err
@@ -549,8 +475,11 @@ func AllgatherTraced(spec Spec, algorithm string, data [][]byte) (*RunResult, *T
 // RunOverTCPTraced is RunOverTCP with wall-clock tracing (see
 // RunTraced): the timeline measures real socket sends, receive waits
 // and AES-GCM work.
+//
+// Deprecated: use OpenSession with WithEngine(EngineTCP) and WithTracer,
+// then Session.Run.
 func RunOverTCPTraced(spec Spec, algorithm string, msgSize int64) (*TCPResult, *Trace, error) {
-	col := &trace.Collector{}
+	col := &TraceCollector{}
 	res, err := runOverTCP(spec, algorithm, msgSize, col, nil)
 	if err != nil {
 		return nil, nil, err
@@ -558,42 +487,36 @@ func RunOverTCPTraced(spec Spec, algorithm string, msgSize int64) (*TCPResult, *
 	return res, &Trace{Events: col.Events}, nil
 }
 
-// SimulateTraced is Simulate with virtual-time tracing: the returned
-// timeline is the model's *predicted* schedule, directly comparable to
-// the measured one from RunTraced/RunOverTCPTraced.
+// SimulateTraced is Simulate with virtual-time tracing (EngineSim): the
+// returned timeline is the model's *predicted* schedule, directly
+// comparable to the measured one from RunTraced/RunOverTCPTraced.
+//
+// Deprecated: use OpenSession with WithEngine(EngineSim), WithProfile
+// and WithTracer, then Session.Simulate.
 func SimulateTraced(spec Spec, prof Profile, algorithm string, msgSize int64) (SimResult, *Trace, error) {
-	cs, err := spec.toCluster()
+	col := &TraceCollector{}
+	s, err := OpenSession(context.Background(), spec,
+		WithEngine(EngineSim), WithProfile(prof), WithTracer(col))
 	if err != nil {
 		return SimResult{}, nil, err
 	}
-	alg, err := lookup(algorithm)
+	defer s.Close()
+	res, err := s.Simulate(context.Background(), algorithm, msgSize)
 	if err != nil {
 		return SimResult{}, nil, err
 	}
-	col := &trace.Collector{}
-	res, err := cluster.RunSimTraced(cs, prof, msgSize, alg, col)
-	if err != nil {
-		return SimResult{}, nil, err
-	}
-	if err := cluster.ValidateGather(cs, msgSize, res.Results, false); err != nil {
-		return SimResult{}, nil, fmt.Errorf("encag: %s produced an invalid gather: %w", algorithm, err)
-	}
-	return SimResult{
-		Latency:    res.LatencyD,
-		Metrics:    res.Critical,
-		InterBytes: res.InterBytes,
-		IntraBytes: res.IntraBytes,
-	}, &Trace{Events: col.Events}, nil
+	return res, &Trace{Events: col.Events}, nil
 }
 
 // CombineFunc is an all-reduce operator: it folds src into dst (equal
 // lengths). It must be associative and commutative, like an MPI_Op.
+// Used by Allreduce on the chan and tcp engines.
 type CombineFunc = encrypted.Combine
 
 // XORCombine is a ready-made CombineFunc.
 func XORCombine(dst, src []byte) { encrypted.XOR(dst, src) }
 
-// ReduceResult is the outcome of Allreduce.
+// ReduceResult is the outcome of an Allreduce on the chan or tcp engine.
 type ReduceResult struct {
 	// Result is the reduced vector (identical at every rank; verified).
 	Result     []byte
@@ -603,69 +526,30 @@ type ReduceResult struct {
 	Elapsed    time.Duration
 }
 
-// Allreduce performs an encrypted all-reduce — the generalization of the
-// paper's approach that its conclusion calls for: intra-node combining in
-// shared memory, one rank per node per vector slice on the wire,
-// ciphertext-only across node boundaries, joint decryption. data[r] is
-// rank r's vector (all equal length); op combines two vectors.
+// Allreduce performs an encrypted all-reduce on EngineChan — the
+// generalization of the paper's approach that its conclusion calls for:
+// intra-node combining in shared memory, one rank per node per vector
+// slice on the wire, ciphertext-only across node boundaries, joint
+// decryption. data[r] is rank r's vector (all equal length); op combines
+// two vectors.
+//
+// Deprecated: use OpenSession and Session.Allreduce, which also permits
+// EngineTCP.
 func Allreduce(spec Spec, data [][]byte, op CombineFunc) (*ReduceResult, error) {
-	cs, err := spec.toCluster()
+	s, err := OpenSession(context.Background(), spec)
 	if err != nil {
 		return nil, err
 	}
-	if len(data) != cs.P {
-		return nil, fmt.Errorf("encag: %d contributions for %d ranks", len(data), cs.P)
-	}
-	m := int64(len(data[0]))
-	res, err := cluster.RunRealData(cs, m, data, encrypted.AllreduceHS(op))
-	if err != nil {
-		return nil, err
-	}
-	var reference []byte
-	for r, msg := range res.Results {
-		var got []byte
-		for _, c := range msg.Chunks {
-			if c.Enc {
-				return nil, fmt.Errorf("encag: rank %d result still encrypted", r)
-			}
-			got = append(got, c.Payload...)
-		}
-		if int64(len(got)) != m {
-			return nil, fmt.Errorf("encag: rank %d reduced to %d bytes, want %d", r, len(got), m)
-		}
-		if reference == nil {
-			reference = got
-		} else if !bytesEqual(reference, got) {
-			return nil, fmt.Errorf("encag: ranks disagree on the reduction result")
-		}
-	}
-	return &ReduceResult{
-		Result:     reference,
-		Metrics:    res.Critical,
-		SecurityOK: res.Audit.Clean() && !res.Sealer.DuplicateNonceSeen(),
-		Violations: append([]string(nil), res.Audit.Violations...),
-		Elapsed:    res.Elapsed,
-	}, nil
-}
-
-func bytesEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
+	defer s.Close()
+	return s.Allreduce(context.Background(), data, op)
 }
 
 // LowerBounds evaluates the paper's Table I bounds for p ranks over n
-// nodes with m-byte blocks.
+// nodes with m-byte blocks (pure analysis; no engine involved).
 func LowerBounds(p, n int, m int64) BoundSet { return bounds.Lower(p, n, m) }
 
 // Predict evaluates the paper's Table II closed forms (power-of-two p
-// and N, block mapping).
+// and N, block mapping; pure analysis, no engine involved).
 func Predict(algorithm string, p, n int, m int64) (BoundSet, error) {
 	return bounds.Predict(algorithm, p, n, m)
 }

@@ -20,6 +20,10 @@ type Options struct {
 	// whole suite finishes in seconds; used by tests. Full runs (the
 	// default) regenerate every published row.
 	Quick bool
+	// Iters overrides the iteration count of host-measuring experiments
+	// (currently the session-amortization study); 0 keeps each
+	// experiment's default.
+	Iters int
 }
 
 // Experiment regenerates one of the paper's tables or figures.
@@ -45,6 +49,7 @@ func All() []Experiment {
 		{"fig7", "Encrypted algorithms, block mapping (Figure 7)", Figure7},
 		{"fig8", "Encrypted algorithms, cyclic mapping (Figure 8)", Figure8},
 		{"crypto", "Serial vs segmented-parallel AES-GCM seal/open (this host)", Crypto},
+		{"session", "Per-call TCP dial vs persistent session reuse (this host)", SessionAmortization},
 		{"ablation", "Design-choice ablations (DESIGN.md)", Ablations},
 		{"sensitivity", "Overheads vs crypto/network speed ratio (extension study)", Sensitivity},
 		{"breakdown", "Critical-rank time breakdown per algorithm (trace study)", Breakdown},

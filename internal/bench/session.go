@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"encag"
+)
+
+// SessionAmortization measures what the persistent Session runtime buys:
+// a workload of N back-to-back collectives pays the O(p^2) TCP mesh
+// setup (listeners, dials, hello handshakes) once per call through the
+// deprecated RunOverTCP path, but once per *session* through
+// OpenSession/Session.Run. The session column includes OpenSession and
+// Close inside the timed region, so the comparison is end-to-end honest:
+// setup + N runs vs N x (setup + run).
+func SessionAmortization(opts Options) ([]Table, error) {
+	iters := opts.Iters
+	if iters <= 0 {
+		iters = 10
+	}
+	if opts.Quick && iters > 4 {
+		iters = 4
+	}
+	spec := encag.Spec{Procs: 8, Nodes: 2}
+	algs := []string{"hs1", "hs2", "c-ring"}
+	sizes := trimSizes(sizes("1KB", "64KB"), opts)
+	t := Table{
+		ID:    "session",
+		Title: fmt.Sprintf("Per-call TCP dial vs persistent session (p=%d N=%d, %d collectives)", spec.Procs, spec.Nodes, iters),
+		Headers: []string{"algorithm", "size", "iters",
+			"per-call-total(us)", "per-call-avg(us)", "session-total(us)", "session-avg(us)", "speedup"},
+		Notes: []string{
+			"per-call: RunOverTCP re-dials the full mesh every collective",
+			"session: one OpenSession(EngineTCP), N Session.Run calls, Close — setup timed in",
+			"wall clock on this host; loopback sockets, real AES-GCM",
+		},
+	}
+	for _, alg := range algs {
+		for _, m := range sizes {
+			perCall, err := timePerCall(spec, alg, m, iters)
+			if err != nil {
+				return nil, err
+			}
+			session, err := timeSession(spec, alg, m, iters)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				alg, SizeName(m), fmt.Sprint(iters),
+				fmtUS(perCall.Seconds()), fmtUS(perCall.Seconds() / float64(iters)),
+				fmtUS(session.Seconds()), fmtUS(session.Seconds() / float64(iters)),
+				fmt.Sprintf("%.2fx", perCall.Seconds()/session.Seconds()),
+			})
+		}
+	}
+	return []Table{t}, nil
+}
+
+// timePerCall times iters collectives through the deprecated one-shot
+// path: every call dials (and tears down) its own mesh.
+func timePerCall(spec encag.Spec, alg string, m int64, iters int) (time.Duration, error) {
+	// One untimed warm-up outside the loop evens out lazy init.
+	if _, err := encag.RunOverTCP(spec, alg, m); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		res, err := encag.RunOverTCP(spec, alg, m)
+		if err != nil {
+			return 0, fmt.Errorf("per-call %s @%s iteration %d: %w", alg, SizeName(m), i, err)
+		}
+		if !res.SecurityOK {
+			return 0, fmt.Errorf("per-call %s @%s iteration %d: security violation", alg, SizeName(m), i)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// timeSession times the same workload over one persistent session,
+// including OpenSession and Close in the measurement.
+func timeSession(spec encag.Spec, alg string, m int64, iters int) (time.Duration, error) {
+	ctx := context.Background()
+	start := time.Now()
+	s, err := encag.OpenSession(ctx, spec, encag.WithEngine(encag.EngineTCP))
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	for i := 0; i < iters; i++ {
+		res, err := s.Run(ctx, alg, m)
+		if err != nil {
+			return 0, fmt.Errorf("session %s @%s iteration %d: %w", alg, SizeName(m), i, err)
+		}
+		if !res.SecurityOK {
+			return 0, fmt.Errorf("session %s @%s iteration %d: security violation", alg, SizeName(m), i)
+		}
+	}
+	s.Close()
+	return time.Since(start), nil
+}

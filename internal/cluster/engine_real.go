@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -321,6 +322,9 @@ var RealTimeout = 60 * time.Second
 // RunReal executes algo on every rank concurrently with real payloads and
 // real AES-GCM, returning results, metrics and the transport security
 // audit. Each rank contributes the deterministic test pattern.
+//
+// Deprecated: one-shot wrapper kept for compatibility and tests; use
+// OpenSession and Session.Collective to amortize setup across operations.
 func RunReal(spec Spec, msgSize int64, algo Algorithm) (*RealResult, error) {
 	return RunRealData(spec, msgSize, nil, algo)
 }
@@ -331,6 +335,9 @@ func RunReal(spec Spec, msgSize int64, algo Algorithm) (*RealResult, error) {
 // the real-time counterpart of RunSimTraced's virtual timeline. The
 // tracer is invoked concurrently from p rank goroutines and must be
 // goroutine-safe (trace.Collector is).
+//
+// Deprecated: one-shot wrapper kept for compatibility and tests; use
+// OpenSession and Session.Collective to amortize setup across operations.
 func RunRealTraced(spec Spec, msgSize int64, algo Algorithm, tracer Tracer) (*RealResult, error) {
 	return RunRealDataTraced(spec, msgSize, nil, algo, tracer)
 }
@@ -338,12 +345,18 @@ func RunRealTraced(spec Spec, msgSize int64, algo Algorithm, tracer Tracer) (*Re
 // RunRealData is RunReal with caller-supplied contributions: payloads[r]
 // is rank r's block (all must share msgSize length). A nil payloads uses
 // the deterministic test pattern.
+//
+// Deprecated: one-shot wrapper kept for compatibility and tests; use
+// OpenSession and Session.Collective to amortize setup across operations.
 func RunRealData(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm) (*RealResult, error) {
 	return RunRealDataTraced(spec, msgSize, payloads, algo, nil)
 }
 
 // RunRealDataTraced is RunRealData with a wall-clock activity tracer
 // (see RunRealTraced).
+//
+// Deprecated: one-shot wrapper kept for compatibility and tests; use
+// OpenSession and Session.Collective to amortize setup across operations.
 func RunRealDataTraced(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, tracer Tracer) (*RealResult, error) {
 	if payloads != nil {
 		for r, pl := range payloads {
@@ -359,6 +372,9 @@ func RunRealDataTraced(spec Spec, msgSize int64, payloads [][]byte, algo Algorit
 // inter-node link: adv sees (and may modify) each message that crosses a
 // node boundary. Used to verify end-to-end that tampering cannot go
 // undetected in any algorithm.
+//
+// Deprecated: one-shot wrapper kept for compatibility and tests; use
+// OpenSession and Session.Collective to amortize setup across operations.
 func RunRealAdversarial(spec Spec, msgSize int64, algo Algorithm, adv Adversary) (*RealResult, error) {
 	return runReal(spec, msgSize, nil, algo, adv, nil, nil)
 }
@@ -371,6 +387,9 @@ func RunRealAdversarial(spec Spec, msgSize int64, algo Algorithm, adv Adversary)
 // completes with verified results or returns one *RankError naming the
 // first root cause; corruption of unauthenticated plaintext (intra-node
 // traffic) is caught by the end-of-run gather validation.
+//
+// Deprecated: one-shot wrapper kept for compatibility and tests; use
+// OpenSession and Session.Collective to amortize setup across operations.
 func RunRealFaulty(spec Spec, msgSize int64, algo Algorithm, plan *fault.Plan) (*RealResult, error) {
 	res, err := runReal(spec, msgSize, nil, algo, nil, nil, plan)
 	if err != nil {
@@ -385,6 +404,9 @@ func RunRealFaulty(spec Spec, msgSize int64, algo Algorithm, plan *fault.Plan) (
 
 // RunRealV is the all-gatherv variant: contributions may have different
 // lengths (including zero). payloads[r] is rank r's block.
+//
+// Deprecated: one-shot wrapper kept for compatibility and tests; use
+// OpenSession and Session.Collective to amortize setup across operations.
 func RunRealV(spec Spec, payloads [][]byte, algo Algorithm) (*RealResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -395,20 +417,10 @@ func RunRealV(spec Spec, payloads [][]byte, algo Algorithm) (*RealResult, error)
 	return runReal(spec, 0, payloads, algo, nil, nil, nil)
 }
 
-func runReal(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, adv Adversary, tracer Tracer, plan *fault.Plan) (*RealResult, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	if payloads != nil && len(payloads) != spec.P {
-		return nil, fmt.Errorf("cluster: %d payloads for %d ranks", len(payloads), spec.P)
-	}
-	slr, err := seal.NewRandomSealer()
-	if err != nil {
-		return nil, err
-	}
-	slr.SetSegmentSize(int(spec.SegmentSize))
-	slr.SetWorkers(spec.CryptoWorkers)
-	slr.EnableNonceAudit()
+// newRealEngine builds the per-operation channel-transport engine: fresh
+// inboxes, pending buffers, shared memory, barriers and audit for one
+// collective, over a (possibly session-shared) sealer.
+func newRealEngine(spec Spec, slr *seal.Sealer, adv Adversary, inj *fault.Injector, recvTO time.Duration, tracer Tracer) *realEngine {
 	e := &realEngine{
 		spec:      spec,
 		slr:       slr,
@@ -418,13 +430,10 @@ func runReal(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, adv Ad
 		bars:      make([]*realBarrier, spec.N),
 		audit:     &SecurityAudit{},
 		adversary: adv,
-		inj:       fault.NewInjector(plan),
-		recvTO:    spec.RecvTimeout,
+		inj:       inj,
+		recvTO:    recvTO,
 		wt:        wallTrace{tracer: tracer},
 		aborted:   make(chan struct{}),
-	}
-	if e.recvTO <= 0 {
-		e.recvTO = DefaultRecvTimeout
 	}
 	for r := 0; r < spec.P; r++ {
 		e.boxes[r] = make(chan envelope, 2*spec.P+16)
@@ -434,58 +443,24 @@ func runReal(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, adv Ad
 		e.shm[n] = &realShm{m: make(map[string]block.Message)}
 		e.bars[n] = newRealBarrier(spec.Ell())
 	}
+	return e
+}
 
-	sizes := make([]int64, spec.P)
-	for r := range sizes {
-		if payloads != nil {
-			sizes[r] = int64(len(payloads[r]))
-		} else {
-			sizes[r] = msgSize
-		}
-	}
-	res := &RealResult{
-		Results: make([]block.Message, spec.P),
-		PerRank: make([]Metrics, spec.P),
-		Audit:   e.audit,
-		Sealer:  slr,
-	}
-	var wg sync.WaitGroup
-	start := time.Now()
-	e.wt.epoch = start
-	for r := 0; r < spec.P; r++ {
-		r := r
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() { recoverRank(recover(), &e.fails, e.abort, r) }()
-			p := &Proc{rank: r, spec: spec, met: &res.PerRank[r], eng: e, sizes: sizes}
-			payload := block.FillPattern(r, msgSize)
-			if payloads != nil {
-				payload = payloads[r]
-			}
-			mine := block.NewPlain(r, payload)
-			res.Results[r] = algo(p, mine)
-		}()
-	}
-	done := make(chan struct{})
-	go func() { wg.Wait(); close(done) }()
-	select {
-	case <-done:
-	case <-time.After(RealTimeout):
-		e.fails.record(&RankError{Rank: -1, Peer: -1, Op: "timeout",
-			Err: fmt.Errorf("real run exceeded %v (algorithm deadlock?) on %v", RealTimeout, spec)})
-		e.abort()
-		// The abort unblocks every rank (sends, receives and barriers all
-		// observe it), so wait for them to unwind instead of leaking the
-		// rank goroutines and the done-waiter into the caller's process.
-		<-done
-	}
-	res.Elapsed = time.Since(start)
-	if err := e.fails.err(); err != nil {
+// runReal is the legacy one-shot path: open a channel-engine session,
+// run a single collective, close the session.
+func runReal(spec Spec, msgSize int64, payloads [][]byte, algo Algorithm, adv Adversary, tracer Tracer, plan *fault.Plan) (*RealResult, error) {
+	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	res.Critical = CriticalPath(res.PerRank)
-	return res, nil
+	if payloads != nil && len(payloads) != spec.P {
+		return nil, fmt.Errorf("cluster: %d payloads for %d ranks", len(payloads), spec.P)
+	}
+	s, err := OpenSession(spec, SessionConfig{Engine: EngineChan, Adversary: adv})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.Collective(context.Background(), Op{Algo: algo, MsgSize: msgSize, Payloads: payloads, Tracer: tracer, Plan: plan})
 }
 
 // ValidateGather checks that every rank's result is a complete, correctly

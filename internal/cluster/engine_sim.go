@@ -232,6 +232,9 @@ type SimResult struct {
 // under the given machine profile and returns the modelled latency along
 // with the same metrics and logical results as the real engine (payloads
 // are symbolic).
+//
+// Deprecated: one-shot wrapper kept for compatibility and tests; use
+// OpenSession with EngineSim and Session.Sim to reuse one session.
 func RunSim(spec Spec, prof cost.Profile, msgSize int64, algo Algorithm) (*SimResult, error) {
 	return RunSimTraced(spec, prof, msgSize, algo, nil)
 }
@@ -240,6 +243,9 @@ func RunSim(spec Spec, prof cost.Profile, msgSize int64, algo Algorithm) (*SimRe
 // encryption, decryption, copy and barrier interval of every rank is
 // reported, in virtual time (see internal/trace for collection and
 // rendering).
+//
+// Deprecated: one-shot wrapper kept for compatibility and tests; use
+// OpenSession with EngineSim and Session.Sim to reuse one session.
 func RunSimTraced(spec Spec, prof cost.Profile, msgSize int64, algo Algorithm, tracer Tracer) (*SimResult, error) {
 	if spec.P <= 0 {
 		return nil, fmt.Errorf("cluster: invalid P=%d", spec.P)
@@ -253,6 +259,9 @@ func RunSimTraced(spec Spec, prof cost.Profile, msgSize int64, algo Algorithm, t
 
 // RunSimV is the all-gatherv variant of RunSim: sizes[r] is rank r's
 // contribution length.
+//
+// Deprecated: one-shot wrapper kept for compatibility and tests; use
+// OpenSession with EngineSim and Session.Sim to reuse one session.
 func RunSimV(spec Spec, prof cost.Profile, sizes []int64, algo Algorithm) (*SimResult, error) {
 	if len(sizes) != spec.P {
 		return nil, fmt.Errorf("cluster: %d sizes for %d ranks", len(sizes), spec.P)

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"encag/internal/block"
@@ -17,7 +19,8 @@ import (
 // the exact view a network eavesdropper gets. Tests scan the capture for
 // plaintext patterns: finding none (while a plaintext-algorithm control
 // run does expose them) demonstrates the security property on real
-// sockets, not just at the audit layer.
+// sockets, not just at the audit layer. On a persistent session the
+// capture is cumulative over every collective run on the mesh.
 type WireSniffer struct {
 	mu      sync.Mutex
 	buf     bytes.Buffer
@@ -108,7 +111,10 @@ const DefaultRecvTimeout = 30 * time.Second
 
 // tcpLink is the sender-side state of one directed connection. The
 // owning rank goroutine is the only sender, but abort() closes the
-// current conn concurrently, so access goes through the mutex.
+// current conn concurrently, so access goes through the mutex. Links —
+// and their monotone sequence counters — live as long as the mesh, so
+// frame numbering continues across the collectives of a session and the
+// receiver's sequence gates stay valid run-to-run.
 type tcpLink struct {
 	mu   sync.Mutex
 	conn net.Conn
@@ -152,6 +158,8 @@ func (l *tcpLink) close() {
 // seqGate deduplicates frames of one directed pair across reconnects: a
 // frame resent after a transient failure may arrive twice (once through
 // the old connection, once through the new), and must be delivered once.
+// Gates persist for the mesh lifetime — sequence numbers never reset, so
+// dedup works across the collectives of a session too.
 type seqGate struct {
 	mu   sync.Mutex
 	next uint64
@@ -169,46 +177,242 @@ func (g *seqGate) admit(seq uint64) bool {
 	return true
 }
 
-type tcpEngine struct {
+// tcpMesh is the persistent transport state of a TCP session: one
+// listener and accept loop per rank, a dedicated dialed connection per
+// ordered rank pair (hello handshake done once), per-pair sequence
+// gates, and the session-lifetime wire sniffer. Collectives come and go
+// as per-operation tcpEngines; the mesh outlives them all until the
+// session closes or an operation fails.
+type tcpMesh struct {
 	spec      Spec
-	slr       *seal.Sealer
 	links     [][]*tcpLink // [src][dst], nil on the diagonal
 	addrs     []string     // listener address per rank, for reconnects
 	listeners []net.Listener
-	boxes     []chan envelope
-	pend      [][][]block.Message
 	gates     [][]*seqGate // [dst][src]
-	shm       []*realShm
-	bars      []*realBarrier
-	audit     *SecurityAudit
 	sniffer   *WireSniffer
-	inj       *fault.Injector
-	recvTO    time.Duration
-	wt        wallTrace // wall-clock tracing; inert unless a tracer is set
-	fails     failState
-	aborted   chan struct{}
-	abortOnce sync.Once
+	// op is the engine of the collective currently in flight (nil
+	// between operations). Readers load it per frame: frames whose epoch
+	// does not match the current operation are stragglers and dropped.
+	op atomic.Pointer[tcpEngine]
+	// inj is the current operation's fault injector (nil for none); the
+	// provider-based conn wrappers re-resolve it at every frame/read so
+	// the persistent connections honor per-operation plans.
+	inj       atomic.Pointer[fault.Injector]
 	readersWG sync.WaitGroup
+	downOnce  sync.Once
 }
 
-func (e *tcpEngine) abort() {
-	e.abortOnce.Do(func() {
-		close(e.aborted)
-		for _, b := range e.bars {
-			b.abort()
+func (m *tcpMesh) injProv() *fault.Injector { return m.inj.Load() }
+
+// newTCPMesh listens, starts the accept loops and dials the full O(p^2)
+// connection mesh — the setup cost a session pays exactly once.
+func newTCPMesh(spec Spec) (*tcpMesh, error) {
+	m := &tcpMesh{
+		spec:      spec,
+		links:     make([][]*tcpLink, spec.P),
+		addrs:     make([]string, spec.P),
+		listeners: make([]net.Listener, spec.P),
+		gates:     make([][]*seqGate, spec.P),
+		sniffer:   &WireSniffer{},
+	}
+	for r := 0; r < spec.P; r++ {
+		m.links[r] = make([]*tcpLink, spec.P)
+		m.gates[r] = make([]*seqGate, spec.P)
+		for s := 0; s < spec.P; s++ {
+			m.gates[r][s] = &seqGate{}
 		}
-		for _, l := range e.listeners {
+	}
+	// One listener per rank, each with a persistent accept loop: beyond
+	// the initial p-1 connections it keeps accepting so that a sender
+	// recovering from a transient fault can reconnect and re-handshake.
+	for r := 0; r < spec.P; r++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			m.close()
+			return nil, &RankError{Rank: r, Peer: -1, Op: "listen", Err: err}
+		}
+		m.listeners[r] = l
+		m.addrs[r] = l.Addr().String()
+	}
+	for d := 0; d < spec.P; d++ {
+		d := d
+		m.readersWG.Add(1)
+		go func() {
+			defer m.readersWG.Done()
+			for {
+				conn, err := m.listeners[d].Accept()
+				if err != nil {
+					return // listener closed: teardown
+				}
+				// The accept goroutine holds a readersWG slot, so this
+				// Add never races a Wait at zero.
+				m.readersWG.Add(1)
+				go m.serveConn(d, conn)
+			}
+		}()
+	}
+	// Dial side: every ordered pair gets a dedicated link.
+	for s := 0; s < spec.P; s++ {
+		for d := 0; d < spec.P; d++ {
+			if s == d {
+				continue
+			}
+			conn, err := m.connect(s, d)
+			if err != nil {
+				m.close()
+				return nil, &RankError{Rank: s, Peer: d, Op: "dial", Err: err}
+			}
+			m.links[s][d] = &tcpLink{conn: conn}
+		}
+	}
+	return m, nil
+}
+
+// connect dials dst's listener and identifies src with a hello frame;
+// the conn is wrapped with the wire sniffer (inter-node pairs) and the
+// provider-based fault wrapper, which re-resolves the mesh's current
+// injector at each frame so the same connection serves faulty and clean
+// operations alike. Used for both initial setup and reconnects.
+func (m *tcpMesh) connect(src, dst int) (net.Conn, error) {
+	conn, err := net.Dial("tcp", m.addrs[dst])
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteHello(conn, src); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := net.Conn(conn)
+	if !m.spec.SameNode(src, dst) {
+		c = &sniffConn{Conn: c, sniffer: m.sniffer}
+	}
+	return fault.WrapSendProvider(m.injProv, src, dst, c), nil
+}
+
+// teardown closes the listeners and links, ending the mesh. Idempotent;
+// reader goroutines observe the closed conns and drain.
+func (m *tcpMesh) teardown() {
+	m.downOnce.Do(func() {
+		for _, l := range m.listeners {
 			if l != nil {
 				l.Close()
 			}
 		}
-		for _, row := range e.links {
+		for _, row := range m.links {
 			for _, lnk := range row {
 				if lnk != nil {
 					lnk.close()
 				}
 			}
 		}
+	})
+}
+
+// close tears the mesh down and waits for every reader goroutine.
+func (m *tcpMesh) close() {
+	m.teardown()
+	m.readersWG.Wait()
+}
+
+// serveConn handles one accepted connection: it learns the dialing rank
+// from the hello frame, then feeds sequence-deduplicated frames into the
+// current operation's inboxes until the connection dies (teardown,
+// abort, or a transient fault — the sender reconnects and a fresh
+// accepted conn takes over). Frames whose operation epoch is not the
+// current one — stragglers resent from an earlier, possibly aborted,
+// collective of the session — are dropped after passing the sequence
+// gate, so they can neither corrupt a later run nor be replayed.
+func (m *tcpMesh) serveConn(dst int, conn net.Conn) {
+	defer m.readersWG.Done()
+	defer conn.Close()
+	src, err := wire.ReadHello(conn)
+	if err != nil || src < 0 || src >= m.spec.P || src == dst {
+		return
+	}
+	rc := fault.WrapRecvProvider(m.injProv, src, dst, conn)
+	gate := m.gates[dst][src]
+	for {
+		s, epoch, seq, msg, err := wire.ReadFrame(rc)
+		if err != nil || s != src {
+			return
+		}
+		if !gate.admit(seq) {
+			continue // duplicate of a frame resent over a newer conn
+		}
+		eng := m.op.Load()
+		if eng == nil || eng.epoch != epoch {
+			continue // straggler from an earlier operation
+		}
+		select {
+		case eng.boxes[dst] <- envelope{src: src, msg: msg}:
+		case <-eng.aborted:
+			// The operation is unwinding; drop the frame and keep reading
+			// (the mesh teardown will close this conn shortly).
+		}
+	}
+}
+
+// tcpEngine is the per-operation execution state layered over a
+// persistent tcpMesh: fresh inboxes, pending buffers, shared memory,
+// barriers, audit and fault verdicts for one collective, stamped with
+// the operation epoch carried by every frame.
+type tcpEngine struct {
+	spec      Spec
+	slr       *seal.Sealer
+	mesh      *tcpMesh
+	epoch     uint32
+	boxes     []chan envelope
+	pend      [][][]block.Message
+	shm       []*realShm
+	bars      []*realBarrier
+	audit     *SecurityAudit
+	recvTO    time.Duration
+	wt        wallTrace // wall-clock tracing; inert unless a tracer is set
+	fails     failState
+	aborted   chan struct{}
+	abortOnce sync.Once
+}
+
+// newOp builds the engine for the next collective and installs it (and
+// the operation's fault injector) as the mesh's current operation.
+func (m *tcpMesh) newOp(epoch uint32, slr *seal.Sealer, recvTO time.Duration, tracer Tracer, inj *fault.Injector) *tcpEngine {
+	e := &tcpEngine{
+		spec:    m.spec,
+		slr:     slr,
+		mesh:    m,
+		epoch:   epoch,
+		boxes:   make([]chan envelope, m.spec.P),
+		pend:    make([][][]block.Message, m.spec.P),
+		shm:     make([]*realShm, m.spec.N),
+		bars:    make([]*realBarrier, m.spec.N),
+		audit:   &SecurityAudit{},
+		recvTO:  recvTO,
+		wt:      wallTrace{tracer: tracer},
+		aborted: make(chan struct{}),
+	}
+	for r := 0; r < m.spec.P; r++ {
+		e.boxes[r] = make(chan envelope, 2*m.spec.P+16)
+		e.pend[r] = make([][]block.Message, m.spec.P)
+	}
+	for n := 0; n < m.spec.N; n++ {
+		e.shm[n] = &realShm{m: make(map[string]block.Message)}
+		e.bars[n] = newRealBarrier(m.spec.Ell())
+	}
+	m.inj.Store(inj)
+	m.op.Store(e)
+	return e
+}
+
+// abort unwinds the operation and — because a half-finished collective
+// leaves the transport in an unrecoverable state — tears down the mesh,
+// breaking the owning session.
+func (e *tcpEngine) abort() {
+	e.abortOnce.Do(func() {
+		close(e.aborted)
+		for _, b := range e.bars {
+			b.abort()
+		}
+		e.mesh.teardown()
 	})
 }
 
@@ -233,28 +437,9 @@ type tcpSendReq struct{}
 
 func (tcpSendReq) isRequest() {}
 
-// connect dials dst's listener and identifies src with a hello frame;
-// the conn is wrapped with the wire sniffer (inter-node pairs) and the
-// fault injector. Used for both initial setup and reconnects.
-func (e *tcpEngine) connect(src, dst int) (net.Conn, error) {
-	conn, err := net.Dial("tcp", e.addrs[dst])
-	if err != nil {
-		return nil, err
-	}
-	if err := wire.WriteHello(conn, src); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	c := net.Conn(conn)
-	if !e.spec.SameNode(src, dst) {
-		c = &sniffConn{Conn: c, sniffer: e.sniffer}
-	}
-	return e.inj.WrapSend(src, dst, c), nil
-}
-
 func (e *tcpEngine) isend(p *Proc, dst int, msg block.Message) Request {
 	e.audit.record(e.spec, p.rank, dst, msg)
-	lnk := e.links[p.rank][dst]
+	lnk := e.mesh.links[p.rank][dst]
 	seq := lnk.nextSeq()
 	var start float64
 	if e.wt.active() {
@@ -276,14 +461,14 @@ func (e *tcpEngine) isend(p *Proc, dst int, msg block.Message) Request {
 	return tcpSendReq{}
 }
 
-// sendFrame writes one sequence-numbered frame, recovering from
-// transient failures (injected drops, partial writes, connection resets)
-// by reconnecting — fresh dial plus hello re-handshake — under
-// exponential backoff. Resending the whole frame on a fresh connection
-// is safe: the receiver's sequence gate drops duplicates, a partial
-// frame on the abandoned connection never parses, and AES-GCM binds
-// every ciphertext to its block header, so replays and splices fail
-// closed rather than deliver wrong bytes.
+// sendFrame writes one sequence-numbered, epoch-stamped frame,
+// recovering from transient failures (injected drops, partial writes,
+// connection resets) by reconnecting — fresh dial plus hello
+// re-handshake — under exponential backoff. Resending the whole frame on
+// a fresh connection is safe: the receiver's sequence gate drops
+// duplicates, a partial frame on the abandoned connection never parses,
+// and AES-GCM binds every ciphertext to its block header, so replays and
+// splices fail closed rather than deliver wrong bytes.
 func (e *tcpEngine) sendFrame(src, dst int, lnk *tcpLink, seq uint64, msg block.Message) error {
 	var lastErr error
 	for attempt := 0; attempt <= sendRetries; attempt++ {
@@ -295,7 +480,7 @@ func (e *tcpEngine) sendFrame(src, dst int, lnk *tcpLink, seq uint64, msg block.
 				backoff.Stop()
 				return lastErr
 			}
-			conn, err := e.connect(src, dst)
+			conn, err := e.mesh.connect(src, dst)
 			if err != nil {
 				lastErr = err
 				continue
@@ -312,7 +497,7 @@ func (e *tcpEngine) sendFrame(src, dst int, lnk *tcpLink, seq uint64, msg block.
 				continue
 			}
 		}
-		if err := wire.WriteMessageSeq(conn, src, seq, msg); err != nil {
+		if err := wire.WriteFrame(conn, src, e.epoch, seq, msg); err != nil {
 			lastErr = err
 			conn.Close()
 			continue
@@ -406,36 +591,6 @@ func (e *tcpEngine) nodeBarrier(p *Proc) {
 
 func (e *tcpEngine) sealer() *seal.Sealer { return e.slr }
 
-// serveConn handles one accepted connection: it learns the dialing rank
-// from the hello frame, then feeds sequence-deduplicated frames into the
-// destination rank's inbox until the connection dies (normal teardown,
-// abort, or a transient fault — the sender reconnects and a fresh
-// accepted conn takes over).
-func (e *tcpEngine) serveConn(dst int, conn net.Conn) {
-	defer e.readersWG.Done()
-	defer conn.Close()
-	src, err := wire.ReadHello(conn)
-	if err != nil || src < 0 || src >= e.spec.P || src == dst {
-		return
-	}
-	rc := e.inj.WrapRecv(src, dst, conn)
-	gate := e.gates[dst][src]
-	for {
-		s, seq, msg, err := wire.ReadMessageSeq(rc)
-		if err != nil || s != src {
-			return
-		}
-		if !gate.admit(seq) {
-			continue // duplicate of a frame resent over a newer conn
-		}
-		select {
-		case e.boxes[dst] <- envelope{src: src, msg: msg}:
-		case <-e.aborted:
-			return
-		}
-	}
-}
-
 // TCPResult extends the real-engine result with the wire capture.
 type TCPResult struct {
 	RealResult
@@ -448,6 +603,10 @@ type TCPResult struct {
 // Inter-node connections are tapped by a WireSniffer so tests can verify
 // — at the byte level an eavesdropper sees — that only ciphertext leaves
 // a node.
+//
+// Deprecated: RunTCP opens and closes a one-shot Session per call,
+// re-paying the full mesh setup each time. Use OpenSession with
+// EngineTCP and Session.Collective to amortize it across collectives.
 func RunTCP(spec Spec, msgSize int64, algo Algorithm) (*TCPResult, error) {
 	return runTCP(spec, msgSize, algo, nil, nil)
 }
@@ -456,6 +615,9 @@ func RunTCP(spec Spec, msgSize int64, algo Algorithm) (*TCPResult, error) {
 // receive-wait, encryption, decryption, copy and barrier interval of
 // every rank is reported in seconds since the collective started (see
 // RunRealTraced). The tracer must be goroutine-safe.
+//
+// Deprecated: use OpenSession with EngineTCP and a SessionConfig.Tracer
+// (or a per-Op tracer) instead.
 func RunTCPTraced(spec Spec, msgSize int64, algo Algorithm, tracer Tracer) (*TCPResult, error) {
 	return runTCP(spec, msgSize, algo, tracer, nil)
 }
@@ -471,6 +633,9 @@ func RunTCPTraced(spec Spec, msgSize int64, algo Algorithm, tracer Tracer) (*TCP
 // lands on unauthenticated bytes (plaintext intra-node frames, header
 // fields that still parse) is caught by gather validation and reported
 // as a structured error rather than silently delivered.
+//
+// Deprecated: use OpenSession with EngineTCP and a per-Op fault Plan
+// (validate with ValidateGather as needed).
 func RunTCPFaulty(spec Spec, msgSize int64, algo Algorithm, plan *fault.Plan) (*TCPResult, error) {
 	res, err := runTCP(spec, msgSize, algo, nil, plan)
 	if err != nil {
@@ -483,145 +648,17 @@ func RunTCPFaulty(spec Spec, msgSize int64, algo Algorithm, plan *fault.Plan) (*
 	return res, nil
 }
 
+// runTCP is the legacy one-shot path: open a TCP session, run a single
+// collective, close the session.
 func runTCP(spec Spec, msgSize int64, algo Algorithm, tracer Tracer, plan *fault.Plan) (*TCPResult, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	slr, err := seal.NewRandomSealer()
+	s, err := OpenSession(spec, SessionConfig{Engine: EngineTCP})
 	if err != nil {
 		return nil, err
 	}
-	slr.SetSegmentSize(int(spec.SegmentSize))
-	slr.SetWorkers(spec.CryptoWorkers)
-	slr.EnableNonceAudit()
-	e := &tcpEngine{
-		spec:      spec,
-		slr:       slr,
-		links:     make([][]*tcpLink, spec.P),
-		addrs:     make([]string, spec.P),
-		listeners: make([]net.Listener, spec.P),
-		boxes:     make([]chan envelope, spec.P),
-		pend:      make([][][]block.Message, spec.P),
-		gates:     make([][]*seqGate, spec.P),
-		shm:       make([]*realShm, spec.N),
-		bars:      make([]*realBarrier, spec.N),
-		audit:     &SecurityAudit{},
-		sniffer:   &WireSniffer{},
-		inj:       fault.NewInjector(plan),
-		recvTO:    spec.RecvTimeout,
-		wt:        wallTrace{tracer: tracer},
-		aborted:   make(chan struct{}),
-	}
-	if e.recvTO <= 0 {
-		e.recvTO = DefaultRecvTimeout
-	}
-	for r := 0; r < spec.P; r++ {
-		e.links[r] = make([]*tcpLink, spec.P)
-		e.boxes[r] = make(chan envelope, 2*spec.P+16)
-		e.pend[r] = make([][]block.Message, spec.P)
-		e.gates[r] = make([]*seqGate, spec.P)
-		for s := 0; s < spec.P; s++ {
-			e.gates[r][s] = &seqGate{}
-		}
-	}
-	for n := 0; n < spec.N; n++ {
-		e.shm[n] = &realShm{m: make(map[string]block.Message)}
-		e.bars[n] = newRealBarrier(spec.Ell())
-	}
-
-	// teardown unblocks and drains every goroutine the run started; it is
-	// idempotent and safe to call on early-exit error paths.
-	teardown := func() {
-		e.abort()
-		e.readersWG.Wait()
-	}
-
-	// One listener per rank, each with a persistent accept loop: beyond
-	// the initial p-1 connections it keeps accepting so that a sender
-	// recovering from a transient fault can reconnect and re-handshake.
-	for r := 0; r < spec.P; r++ {
-		l, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			teardown()
-			return nil, &RankError{Rank: r, Peer: -1, Op: "listen", Err: err}
-		}
-		e.listeners[r] = l
-		e.addrs[r] = l.Addr().String()
-	}
-	for d := 0; d < spec.P; d++ {
-		d := d
-		e.readersWG.Add(1)
-		go func() {
-			defer e.readersWG.Done()
-			for {
-				conn, err := e.listeners[d].Accept()
-				if err != nil {
-					return // listener closed: teardown
-				}
-				// The accept goroutine holds a readersWG slot, so this
-				// Add never races a Wait at zero.
-				e.readersWG.Add(1)
-				go e.serveConn(d, conn)
-			}
-		}()
-	}
-
-	// Dial side: every ordered pair gets a dedicated link.
-	for s := 0; s < spec.P; s++ {
-		for d := 0; d < spec.P; d++ {
-			if s == d {
-				continue
-			}
-			conn, err := e.connect(s, d)
-			if err != nil {
-				teardown()
-				return nil, &RankError{Rank: s, Peer: d, Op: "dial", Err: err}
-			}
-			e.links[s][d] = &tcpLink{conn: conn}
-		}
-	}
-
-	res := &TCPResult{Sniffer: e.sniffer}
-	res.Results = make([]block.Message, spec.P)
-	res.PerRank = make([]Metrics, spec.P)
-	res.Audit = e.audit
-	res.Sealer = slr
-	sizes := make([]int64, spec.P)
-	for r := range sizes {
-		sizes[r] = msgSize
-	}
-	var wg sync.WaitGroup
-	start := time.Now()
-	e.wt.epoch = start
-	for r := 0; r < spec.P; r++ {
-		r := r
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() { recoverRank(recover(), &e.fails, e.abort, r) }()
-			p := &Proc{rank: r, spec: spec, met: &res.PerRank[r], eng: e, sizes: sizes}
-			mine := block.NewPlain(r, block.FillPattern(r, msgSize))
-			res.Results[r] = algo(p, mine)
-		}()
-	}
-	done := make(chan struct{})
-	go func() { wg.Wait(); close(done) }()
-	select {
-	case <-done:
-	case <-time.After(RealTimeout):
-		e.fails.record(&RankError{Rank: -1, Peer: -1, Op: "timeout",
-			Err: fmt.Errorf("tcp run exceeded %v on %v", RealTimeout, spec)})
-		e.abort()
-		// Every blocking point observes the abort, so the rank goroutines
-		// unwind promptly; wait for them instead of leaking them into the
-		// caller's process.
-		<-done
-	}
-	res.Elapsed = time.Since(start)
-	teardown()
-	if err := e.fails.err(); err != nil {
+	defer s.Close()
+	res, err := s.Collective(context.Background(), Op{Algo: algo, MsgSize: msgSize, Tracer: tracer, Plan: plan})
+	if err != nil {
 		return nil, err
 	}
-	res.Critical = CriticalPath(res.PerRank)
-	return res, nil
+	return &TCPResult{RealResult: *res, Sniffer: s.Sniffer()}, nil
 }

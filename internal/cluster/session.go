@@ -1,0 +1,468 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"encag/internal/block"
+	"encag/internal/cost"
+	"encag/internal/fault"
+	"encag/internal/seal"
+)
+
+// EngineKind selects the execution backend of a Session.
+type EngineKind int
+
+const (
+	// EngineChan runs every rank as a goroutine over in-memory channel
+	// transport with real payload bytes and real AES-GCM.
+	EngineChan EngineKind = iota
+	// EngineTCP runs over real loopback TCP sockets through the wire
+	// codec. A session keeps its listeners, dialed links, handshakes and
+	// sequence gates alive across collectives, so only the first
+	// operation pays the O(p^2) mesh setup cost.
+	EngineTCP
+	// EngineSim runs on the deterministic discrete-event cluster model in
+	// virtual time.
+	EngineSim
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EngineChan:
+		return "chan"
+	case EngineTCP:
+		return "tcp"
+	case EngineSim:
+		return "sim"
+	}
+	return fmt.Sprintf("EngineKind(%d)", int(k))
+}
+
+// SessionConfig carries the session-scoped behaviors of OpenSession.
+// Tracer and Plan act as defaults that an individual Op may override.
+type SessionConfig struct {
+	Engine EngineKind
+	// Tracer receives the activity timeline of every collective run on
+	// the session (wall-clock for chan/tcp, virtual time for sim). Must
+	// be goroutine-safe.
+	Tracer Tracer
+	// Plan is the default fault-injection plan applied to every
+	// collective; a fresh Injector is armed per operation so frame
+	// counters restart each run (epoch isolation).
+	Plan *fault.Plan
+	// Profile is the machine model used by EngineSim; ignored otherwise.
+	Profile cost.Profile
+	// Adversary taps inter-node messages on EngineChan; ignored
+	// otherwise.
+	Adversary Adversary
+}
+
+// Op describes one collective executed on an open Session. Exactly one
+// of Sizes, Payloads or MsgSize determines the per-rank contribution
+// lengths (Sizes wins, then Payloads, then uniform MsgSize).
+type Op struct {
+	Algo Algorithm
+	// MsgSize is the uniform per-rank block length when Sizes and
+	// Payloads are absent.
+	MsgSize int64
+	// Payloads supplies each rank's contribution bytes; nil uses the
+	// deterministic test pattern. Ignored by EngineSim.
+	Payloads [][]byte
+	// Sizes gives explicit per-rank contribution lengths (all-gatherv).
+	Sizes []int64
+	// Plan overrides the session's fault plan for this operation only.
+	Plan *fault.Plan
+	// Tracer overrides the session's tracer for this operation only.
+	Tracer Tracer
+}
+
+var (
+	// ErrSessionClosed is returned by operations on a Close()d session.
+	ErrSessionClosed = errors.New("cluster: session is closed")
+	// ErrSessionBroken is returned once a collective on the session has
+	// failed (including cancellation): in-flight transport and crypto
+	// state is unrecoverable after an abort, so — like an MPI
+	// communicator after a fatal error — the session refuses further
+	// operations. Open a fresh session to continue.
+	ErrSessionBroken = errors.New("cluster: session broken by an earlier failure")
+)
+
+// rankPool is the reusable rank-goroutine pool of a session: p
+// long-lived workers, one per rank, fed one job per collective.
+// Operations are serialized by the session mutex, so each per-rank job
+// channel never holds more than one pending job and submit never blocks.
+type rankPool struct {
+	jobs []chan func()
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newRankPool(p int) *rankPool {
+	pl := &rankPool{jobs: make([]chan func(), p), quit: make(chan struct{})}
+	for r := range pl.jobs {
+		ch := make(chan func(), 1)
+		pl.jobs[r] = ch
+		pl.wg.Add(1)
+		go func() {
+			defer pl.wg.Done()
+			for {
+				select {
+				case job := <-ch:
+					job()
+				case <-pl.quit:
+					return
+				}
+			}
+		}()
+	}
+	return pl
+}
+
+// submit hands rank r its job for the current collective. Jobs must not
+// panic: the caller wraps them with recoverRank so a failing rank never
+// kills its pool worker.
+func (pl *rankPool) submit(r int, job func()) { pl.jobs[r] <- job }
+
+func (pl *rankPool) close() {
+	close(pl.quit)
+	pl.wg.Wait()
+}
+
+// Session is a persistent collective runtime: open once, run many
+// collectives over long-lived engine state, close once. For EngineTCP
+// the listeners, dialed links, hello handshakes and sequence gates
+// survive across operations; every frame carries the operation epoch so
+// stragglers from an earlier (possibly aborted) collective are
+// discarded. For EngineChan the rank goroutine pool and sealer persist.
+// EngineSim sessions hold the machine profile and run each collective in
+// virtual time.
+//
+// A Session is safe for concurrent use; collectives are serialized. Any
+// failed or cancelled collective breaks the session (ErrSessionBroken).
+type Session struct {
+	spec   Spec
+	cfg    SessionConfig
+	recvTO time.Duration
+
+	mu     sync.Mutex
+	closed bool
+	broken error
+	epoch  uint32
+	slr    *seal.Sealer
+	pool   *rankPool
+	mesh   *tcpMesh
+}
+
+// OpenSession validates the spec, stands up the persistent engine state
+// (sealer and rank pool for chan/tcp; listeners plus the fully dialed
+// O(p^2) connection mesh for tcp) and returns the ready session.
+func OpenSession(spec Spec, cfg SessionConfig) (*Session, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{spec: spec, cfg: cfg, recvTO: spec.RecvTimeout}
+	if s.recvTO <= 0 {
+		s.recvTO = DefaultRecvTimeout
+	}
+	if cfg.Engine == EngineSim {
+		return s, nil
+	}
+	slr, err := newSessionSealer(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.slr = slr
+	if cfg.Engine == EngineTCP {
+		mesh, err := newTCPMesh(spec)
+		if err != nil {
+			return nil, err
+		}
+		s.mesh = mesh
+	}
+	s.pool = newRankPool(spec.P)
+	return s, nil
+}
+
+func newSessionSealer(spec Spec) (*seal.Sealer, error) {
+	slr, err := seal.NewRandomSealer()
+	if err != nil {
+		return nil, err
+	}
+	slr.SetSegmentSize(int(spec.SegmentSize))
+	slr.SetWorkers(spec.CryptoWorkers)
+	slr.EnableNonceAudit()
+	return slr, nil
+}
+
+// Spec returns the session's world layout.
+func (s *Session) Spec() Spec { return s.spec }
+
+// Engine returns the session's execution backend.
+func (s *Session) Engine() EngineKind { return s.cfg.Engine }
+
+// Sniffer returns the session-lifetime wire capture of an EngineTCP
+// session (cumulative across collectives), or nil for other engines.
+func (s *Session) Sniffer() *WireSniffer {
+	if s.mesh == nil {
+		return nil
+	}
+	return s.mesh.sniffer
+}
+
+// Sealer returns the session's current AES-GCM sealer (nil for
+// EngineSim). Its nonce audit spans every collective sealed since the
+// last Rekey.
+func (s *Session) Sealer() *seal.Sealer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slr
+}
+
+// Err returns the error that broke the session, or nil while it is
+// healthy.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.broken
+}
+
+// Rekey replaces the session's AES-GCM key with a fresh random one
+// between collectives — the session-runtime composition point for
+// internal/seal's key-rotation support. Subsequent operations seal under
+// the new key; the nonce audit restarts with it.
+func (s *Session) Rekey() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return ErrSessionClosed
+	case s.broken != nil:
+		return fmt.Errorf("%w: %v", ErrSessionBroken, s.broken)
+	case s.cfg.Engine == EngineSim:
+		return nil // the sim models crypto cost; there is no key
+	}
+	slr, err := newSessionSealer(s.spec)
+	if err != nil {
+		return err
+	}
+	s.slr = slr
+	return nil
+}
+
+// Close tears down the persistent engine state: the TCP mesh (listeners,
+// links, reader goroutines) and the rank pool. Idempotent.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.mesh != nil {
+		s.mesh.close()
+	}
+	if s.pool != nil {
+		s.pool.close()
+	}
+	return nil
+}
+
+// opRun is the per-collective view the coordinator drives, uniform over
+// the chan and tcp engines.
+type opRun struct {
+	eng   engine
+	abort func()
+	fails *failState
+	audit *SecurityAudit
+	wt    *wallTrace
+}
+
+// resolve turns an Op into per-rank sizes and payload bytes.
+func (op Op) resolve(spec Spec) (sizes []int64, payloads [][]byte, err error) {
+	if op.Algo == nil {
+		return nil, nil, errors.New("cluster: Op.Algo is nil")
+	}
+	sizes = make([]int64, spec.P)
+	switch {
+	case op.Sizes != nil:
+		if len(op.Sizes) != spec.P {
+			return nil, nil, fmt.Errorf("cluster: %d sizes for %d ranks", len(op.Sizes), spec.P)
+		}
+		copy(sizes, op.Sizes)
+	case op.Payloads != nil:
+		if len(op.Payloads) != spec.P {
+			return nil, nil, fmt.Errorf("cluster: %d payloads for %d ranks", len(op.Payloads), spec.P)
+		}
+		for r := range sizes {
+			sizes[r] = int64(len(op.Payloads[r]))
+		}
+	default:
+		if op.MsgSize < 0 {
+			return nil, nil, fmt.Errorf("cluster: negative message size %d", op.MsgSize)
+		}
+		for r := range sizes {
+			sizes[r] = op.MsgSize
+		}
+	}
+	if op.Payloads != nil {
+		if len(op.Payloads) != spec.P {
+			return nil, nil, fmt.Errorf("cluster: %d payloads for %d ranks", len(op.Payloads), spec.P)
+		}
+		for r, pl := range op.Payloads {
+			if int64(len(pl)) != sizes[r] {
+				return nil, nil, fmt.Errorf("cluster: rank %d payload is %d bytes, want %d", r, len(pl), sizes[r])
+			}
+		}
+		payloads = op.Payloads
+		return sizes, payloads, nil
+	}
+	payloads = make([][]byte, spec.P)
+	for r := range payloads {
+		payloads[r] = block.FillPattern(r, sizes[r])
+	}
+	return sizes, payloads, nil
+}
+
+// Collective runs one all-gather-shaped operation on the session's
+// persistent chan or tcp engine. The context cancels mid-collective:
+// cancellation (and deadline expiry) records a RankError with Op
+// "cancel", aborts the run through the normal abort machinery, drains
+// every rank, and breaks the session. Use Sim for EngineSim sessions.
+func (s *Session) Collective(ctx context.Context, op Op) (*RealResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return nil, ErrSessionClosed
+	case s.broken != nil:
+		return nil, fmt.Errorf("%w: %v", ErrSessionBroken, s.broken)
+	case s.cfg.Engine == EngineSim:
+		return nil, errors.New("cluster: Collective needs a chan or tcp session; use Sim")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Err() != nil {
+		return nil, &RankError{Rank: -1, Peer: -1, Op: "cancel", Err: context.Cause(ctx)}
+	}
+	sizes, payloads, err := op.resolve(s.spec)
+	if err != nil {
+		return nil, err
+	}
+	s.epoch++
+	tracer := op.Tracer
+	if tracer == nil {
+		tracer = s.cfg.Tracer
+	}
+	plan := op.Plan
+	if plan == nil {
+		plan = s.cfg.Plan
+	}
+	// A fresh injector per operation: plan frame counters restart each
+	// collective, and stale verdicts from an earlier run cannot leak into
+	// this one (epoch isolation for fault schedules).
+	inj := fault.NewInjector(plan)
+
+	var run opRun
+	if s.cfg.Engine == EngineTCP {
+		e := s.mesh.newOp(s.epoch, s.slr, s.recvTO, tracer, inj)
+		run = opRun{eng: e, abort: e.abort, fails: &e.fails, audit: e.audit, wt: &e.wt}
+	} else {
+		e := newRealEngine(s.spec, s.slr, s.cfg.Adversary, inj, s.recvTO, tracer)
+		run = opRun{eng: e, abort: e.abort, fails: &e.fails, audit: e.audit, wt: &e.wt}
+	}
+
+	res := &RealResult{
+		Results: make([]block.Message, s.spec.P),
+		PerRank: make([]Metrics, s.spec.P),
+		Audit:   run.audit,
+		Sealer:  s.slr,
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	run.wt.epoch = start
+	for r := 0; r < s.spec.P; r++ {
+		r := r
+		wg.Add(1)
+		s.pool.submit(r, func() {
+			defer wg.Done()
+			defer func() { recoverRank(recover(), run.fails, run.abort, r) }()
+			p := &Proc{rank: r, spec: s.spec, met: &res.PerRank[r], eng: run.eng, sizes: sizes}
+			mine := block.NewPlain(r, payloads[r])
+			res.Results[r] = op.Algo(p, mine)
+		})
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		run.fails.record(&RankError{Rank: -1, Peer: -1, Op: "cancel", Err: context.Cause(ctx)})
+		run.abort()
+		// Every blocking point (sends, receives, barriers, backoffs)
+		// observes the abort, so the ranks unwind promptly; wait for them
+		// instead of leaking goroutines into the caller's process.
+		<-done
+	case <-time.After(RealTimeout):
+		format := "real run exceeded %v (algorithm deadlock?) on %v"
+		if s.cfg.Engine == EngineTCP {
+			format = "tcp run exceeded %v on %v"
+		}
+		run.fails.record(&RankError{Rank: -1, Peer: -1, Op: "timeout",
+			Err: fmt.Errorf(format, RealTimeout, s.spec)})
+		run.abort()
+		<-done
+	}
+	res.Elapsed = time.Since(start)
+	if s.mesh != nil {
+		// Between operations no engine is current: frames that straggle in
+		// now are dropped by the readers.
+		s.mesh.op.Store(nil)
+		s.mesh.inj.Store(nil)
+	}
+	if err := run.fails.err(); err != nil {
+		s.broken = err
+		if s.mesh != nil {
+			s.mesh.teardown() // the abort already started this; idempotent
+		}
+		return nil, err
+	}
+	res.Critical = CriticalPath(res.PerRank)
+	return res, nil
+}
+
+// Sim runs one collective on an EngineSim session's discrete-event
+// model. The context is checked on entry only: a sim run executes in
+// virtual time and is not cancellable mid-flight. Sim failures do not
+// break the session — the model holds no cross-operation state.
+func (s *Session) Sim(ctx context.Context, op Op) (*SimResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return nil, ErrSessionClosed
+	case s.broken != nil:
+		return nil, fmt.Errorf("%w: %v", ErrSessionBroken, s.broken)
+	case s.cfg.Engine != EngineSim:
+		return nil, errors.New("cluster: Sim needs an EngineSim session; use Collective")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Err() != nil {
+		return nil, &RankError{Rank: -1, Peer: -1, Op: "cancel", Err: context.Cause(ctx)}
+	}
+	sizes, _, err := op.resolve(s.spec)
+	if err != nil {
+		return nil, err
+	}
+	tracer := op.Tracer
+	if tracer == nil {
+		tracer = s.cfg.Tracer
+	}
+	return runSim(s.spec, s.cfg.Profile, sizes, op.Algo, tracer)
+}

@@ -317,9 +317,13 @@ func (in *Injector) Sleep(d time.Duration) {
 // Conn wraps the send side of one directed connection. The transport
 // calls StartFrame before writing each frame so the injector can target
 // frame boundaries; Write then applies the armed verdict byte-exactly.
+// The injector is re-resolved through a provider at every frame
+// boundary, so a persistent connection that outlives a single collective
+// can switch to a fresh per-operation plan (or to none) without being
+// re-wrapped.
 type Conn struct {
 	net.Conn
-	inj      *Injector
+	prov     func() *Injector
 	src, dst int
 
 	mu    sync.Mutex
@@ -334,7 +338,17 @@ func (in *Injector) WrapSend(src, dst int, c net.Conn) net.Conn {
 	if in == nil {
 		return c
 	}
-	return &Conn{Conn: c, inj: in, src: src, dst: dst}
+	return WrapSendProvider(func() *Injector { return in }, src, dst, c)
+}
+
+// WrapSendProvider wraps an outbound src->dst connection with send-side
+// faults drawn from whatever injector prov yields at each frame
+// boundary. A nil result from prov injects nothing for that frame. The
+// wrapper is always installed (unlike WrapSend), which is what a
+// session-scoped transport wants: wrap once at dial time, swap plans
+// per operation.
+func WrapSendProvider(prov func() *Injector, src, dst int, c net.Conn) *Conn {
+	return &Conn{Conn: c, prov: prov, src: src, dst: dst}
 }
 
 // StartFrame marks the beginning of a new outgoing frame, applies
@@ -342,12 +356,16 @@ func (in *Injector) WrapSend(src, dst int, c net.Conn) net.Conn {
 // bytes. A Drop verdict closes the underlying connection and returns an
 // *Error; the caller treats it exactly like an organic write failure.
 func (c *Conn) StartFrame() error {
-	v := c.inj.SendFrame(c.src, c.dst)
+	in := c.prov()
+	v := in.SendFrame(c.src, c.dst)
 	if v.Stall > 0 {
-		c.inj.Sleep(v.Stall)
+		in.Sleep(v.Stall)
+	}
+	frame := 0
+	if in != nil {
+		frame = in.Frame(c.src, c.dst) - 1
 	}
 	c.mu.Lock()
-	frame := c.inj.Frame(c.src, c.dst) - 1
 	c.v = v
 	c.off = 0
 	c.frame = frame
@@ -396,10 +414,11 @@ func (c *Conn) advance(n int) {
 	c.mu.Unlock()
 }
 
-// recvConn applies read delays on the receive side of one pair.
+// recvConn applies read delays on the receive side of one pair,
+// re-resolving the injector through a provider on every read.
 type recvConn struct {
 	net.Conn
-	inj      *Injector
+	prov     func() *Injector
 	src, dst int
 }
 
@@ -409,12 +428,22 @@ func (in *Injector) WrapRecv(src, dst int, c net.Conn) net.Conn {
 	if in == nil {
 		return c
 	}
-	return &recvConn{Conn: c, inj: in, src: src, dst: dst}
+	return WrapRecvProvider(func() *Injector { return in }, src, dst, c)
+}
+
+// WrapRecvProvider wraps the receive side of a src->dst connection with
+// read-delay faults drawn from whatever injector prov yields at each
+// read. A nil result from prov injects nothing. Like WrapSendProvider,
+// the wrapper is always installed so a persistent connection can change
+// plans between operations.
+func WrapRecvProvider(prov func() *Injector, src, dst int, c net.Conn) net.Conn {
+	return &recvConn{Conn: c, prov: prov, src: src, dst: dst}
 }
 
 func (c *recvConn) Read(p []byte) (int, error) {
-	if d := c.inj.ReadDelay(c.src, c.dst); d > 0 {
-		c.inj.Sleep(d)
+	in := c.prov()
+	if d := in.ReadDelay(c.src, c.dst); d > 0 {
+		in.Sleep(d)
 	}
 	return c.Conn.Read(p)
 }

@@ -9,6 +9,9 @@
 //	uint32 source rank
 //	uint64 sequence number (per-connection, monotone; lets a receiver
 //	       discard duplicate frames resent after a reconnect)
+//	uint32 operation epoch (which collective of a persistent session the
+//	       frame belongs to; lets a receiver discard frames that straggle
+//	       in from an earlier, possibly aborted, operation)
 //	uint32 chunk count
 //	per chunk:
 //	  uint8  flags (bit0: encrypted)
@@ -42,17 +45,27 @@ const (
 	maxCount = 1 << 20
 )
 
-// WriteMessage encodes and writes one frame with sequence number 0.
+// WriteMessage encodes and writes one frame with sequence number 0 and
+// epoch 0.
 func WriteMessage(w io.Writer, src int, msg block.Message) error {
-	return WriteMessageSeq(w, src, 0, msg)
+	return WriteFrame(w, src, 0, 0, msg)
 }
 
 // WriteMessageSeq encodes and writes one frame carrying an explicit
-// sequence number. Senders number the frames of each directed
+// sequence number (epoch 0). Senders number the frames of each directed
 // connection monotonically so that a frame resent after a transient
 // failure (reconnect + hello re-handshake) is recognized as a duplicate
 // by the receiver and dropped instead of delivered twice.
 func WriteMessageSeq(w io.Writer, src int, seq uint64, msg block.Message) error {
+	return WriteFrame(w, src, 0, seq, msg)
+}
+
+// WriteFrame encodes and writes one frame carrying an explicit sequence
+// number and operation epoch. A persistent session stamps every frame
+// with the epoch of the collective it belongs to, so a receiver can
+// discard frames that straggle in from an earlier (possibly aborted)
+// operation on the same long-lived connection.
+func WriteFrame(w io.Writer, src int, epoch uint32, seq uint64, msg block.Message) error {
 	bw := bufio.NewWriter(w)
 	if err := writeU32(bw, magic); err != nil {
 		return err
@@ -61,6 +74,9 @@ func WriteMessageSeq(w io.Writer, src int, seq uint64, msg block.Message) error 
 		return err
 	}
 	if err := writeU64(bw, seq); err != nil {
+		return err
+	}
+	if err := writeU32(bw, epoch); err != nil {
 		return err
 	}
 	if err := writeU32(bw, uint32(len(msg.Chunks))); err != nil {
@@ -102,36 +118,46 @@ func WriteMessageSeq(w io.Writer, src int, seq uint64, msg block.Message) error 
 }
 
 // ReadMessage reads and decodes one frame, discarding the sequence
-// number.
+// number and epoch.
 func ReadMessage(r io.Reader) (src int, msg block.Message, err error) {
 	src, _, msg, err = ReadMessageSeq(r)
 	return src, msg, err
 }
 
 // ReadMessageSeq reads and decodes one frame including its sequence
-// number.
+// number, discarding the epoch.
 func ReadMessageSeq(r io.Reader) (src int, seq uint64, msg block.Message, err error) {
+	src, _, seq, msg, err = ReadFrame(r)
+	return src, seq, msg, err
+}
+
+// ReadFrame reads and decodes one frame including its sequence number
+// and operation epoch.
+func ReadFrame(r io.Reader) (src int, epoch uint32, seq uint64, msg block.Message, err error) {
 	var m uint32
 	if m, err = readU32(r); err != nil {
-		return 0, 0, msg, err
+		return 0, 0, 0, msg, err
 	}
 	if m != magic {
-		return 0, 0, msg, fmt.Errorf("wire: bad magic %#x", m)
+		return 0, 0, 0, msg, fmt.Errorf("wire: bad magic %#x", m)
 	}
 	s, err := readU32(r)
 	if err != nil {
-		return 0, 0, msg, err
+		return 0, 0, 0, msg, err
 	}
 	src = int(s)
 	if seq, err = readU64(r); err != nil {
-		return 0, 0, msg, err
+		return 0, 0, 0, msg, err
+	}
+	if epoch, err = readU32(r); err != nil {
+		return 0, 0, 0, msg, err
 	}
 	nChunks, err := readU32(r)
 	if err != nil {
-		return 0, 0, msg, err
+		return 0, 0, 0, msg, err
 	}
 	if nChunks > maxCount {
-		return 0, 0, msg, fmt.Errorf("wire: %d chunks exceeds limit", nChunks)
+		return 0, 0, 0, msg, fmt.Errorf("wire: %d chunks exceeds limit", nChunks)
 	}
 	var total uint64
 	msg.Chunks = make([]block.Chunk, 0, nChunks)
@@ -139,51 +165,51 @@ func ReadMessageSeq(r io.Reader) (src int, seq uint64, msg block.Message, err er
 		var c block.Chunk
 		var flags [1]byte
 		if _, err := io.ReadFull(r, flags[:]); err != nil {
-			return 0, 0, msg, err
+			return 0, 0, 0, msg, err
 		}
 		c.Enc = flags[0]&1 != 0
 		tag, err := readU32(r)
 		if err != nil {
-			return 0, 0, msg, err
+			return 0, 0, 0, msg, err
 		}
 		c.Tag = int(int32(tag))
 		nBlocks, err := readU32(r)
 		if err != nil {
-			return 0, 0, msg, err
+			return 0, 0, 0, msg, err
 		}
 		if nBlocks > maxCount {
-			return 0, 0, msg, fmt.Errorf("wire: %d blocks exceeds limit", nBlocks)
+			return 0, 0, 0, msg, fmt.Errorf("wire: %d blocks exceeds limit", nBlocks)
 		}
 		c.Blocks = make([]block.Block, nBlocks)
 		for j := range c.Blocks {
 			o, err := readU32(r)
 			if err != nil {
-				return 0, 0, msg, err
+				return 0, 0, 0, msg, err
 			}
 			l, err := readU64(r)
 			if err != nil {
-				return 0, 0, msg, err
+				return 0, 0, 0, msg, err
 			}
 			c.Blocks[j] = block.Block{Origin: int(o), Len: int64(l)}
 		}
 		plen, err := readU32(r)
 		if err != nil {
-			return 0, 0, msg, err
+			return 0, 0, 0, msg, err
 		}
 		if plen > MaxChunk {
-			return 0, 0, msg, fmt.Errorf("wire: chunk payload of %d bytes exceeds %d", plen, MaxChunk)
+			return 0, 0, 0, msg, fmt.Errorf("wire: chunk payload of %d bytes exceeds %d", plen, MaxChunk)
 		}
 		total += uint64(plen)
 		if total > MaxFrame {
-			return 0, 0, msg, fmt.Errorf("wire: frame exceeds %d bytes", MaxFrame)
+			return 0, 0, 0, msg, fmt.Errorf("wire: frame exceeds %d bytes", MaxFrame)
 		}
 		c.Payload = make([]byte, plen)
 		if _, err := io.ReadFull(r, c.Payload); err != nil {
-			return 0, 0, msg, err
+			return 0, 0, 0, msg, err
 		}
 		msg.Chunks = append(msg.Chunks, c)
 	}
-	return src, seq, msg, nil
+	return src, epoch, seq, msg, nil
 }
 
 // WriteHello identifies a dialing rank to the accepting side.

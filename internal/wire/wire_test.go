@@ -76,11 +76,11 @@ func TestRejectsGarbage(t *testing.T) {
 		t.Fatal("zero magic accepted")
 	}
 	// Absurd chunk count must be rejected before allocation. The count
-	// sits after magic (4), src (4) and seq (8).
+	// sits after magic (4), src (4), seq (8) and epoch (4).
 	var buf bytes.Buffer
 	_ = WriteMessage(&buf, 0, block.Message{})
 	raw := buf.Bytes()
-	raw[16], raw[17], raw[18], raw[19] = 0xFF, 0xFF, 0xFF, 0xFF
+	raw[20], raw[21], raw[22], raw[23] = 0xFF, 0xFF, 0xFF, 0xFF
 	if _, _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
 		t.Fatal("absurd chunk count accepted")
 	}
@@ -220,6 +220,33 @@ func TestSequenceNumberRoundTrip(t *testing.T) {
 	}
 	if _, seq, _, err := ReadMessageSeq(&buf); err != nil || seq != 0 {
 		t.Fatalf("WriteMessage seq = %d, %v; want 0, nil", seq, err)
+	}
+}
+
+// Operation epochs survive the codec; the seq-only readers discard them.
+func TestEpochRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msg := block.NewPlain(1, []byte("payload"))
+	for _, epoch := range []uint32{0, 1, 9, 1 << 20, ^uint32(0)} {
+		buf.Reset()
+		if err := WriteFrame(&buf, 3, epoch, 42, msg); err != nil {
+			t.Fatal(err)
+		}
+		src, gotEpoch, seq, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src != 3 || gotEpoch != epoch || seq != 42 || len(got.Chunks) != 1 {
+			t.Fatalf("epoch %d decoded as src=%d epoch=%d seq=%d chunks=%d",
+				epoch, src, gotEpoch, seq, len(got.Chunks))
+		}
+	}
+	buf.Reset()
+	if err := WriteFrame(&buf, 0, 7, 0, msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadMessageSeq(&buf); err != nil {
+		t.Fatalf("ReadMessageSeq must tolerate a nonzero epoch: %v", err)
 	}
 }
 

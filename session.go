@@ -1,0 +1,512 @@
+package encag
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+
+	"encag/internal/block"
+	"encag/internal/cluster"
+	"encag/internal/encrypted"
+	"encag/internal/trace"
+)
+
+// Engine names a Session execution backend.
+type Engine string
+
+const (
+	// EngineChan (the default) runs every rank as a goroutine over
+	// in-memory channel transport with real payload bytes and real
+	// AES-GCM — the engine behind Allgather/Run.
+	EngineChan Engine = "chan"
+	// EngineTCP runs over real loopback TCP sockets through the wire
+	// codec with a byte-level sniffer on inter-node connections — the
+	// engine behind RunOverTCP. A session dials the O(p²) connection
+	// mesh once and reuses it for every collective.
+	EngineTCP Engine = "tcp"
+	// EngineSim runs on the deterministic discrete-event cluster model
+	// in virtual time — the engine behind Simulate. Requires
+	// WithProfile.
+	EngineSim Engine = "sim"
+)
+
+func (e Engine) kind() (cluster.EngineKind, error) {
+	switch e {
+	case "", EngineChan:
+		return cluster.EngineChan, nil
+	case EngineTCP:
+		return cluster.EngineTCP, nil
+	case EngineSim:
+		return cluster.EngineSim, nil
+	}
+	return 0, fmt.Errorf("encag: unknown engine %q (want chan, tcp or sim)", string(e))
+}
+
+// TraceCollector gathers the TraceEvents of traced runs; pass one to
+// WithTracer and read its Events field afterwards. It is goroutine-safe.
+// Applies to all three engines (wall-clock events on chan/tcp, virtual
+// time on sim).
+type TraceCollector = trace.Collector
+
+// Session-level errors, re-exported for errors.Is tests.
+var (
+	// ErrSessionClosed is returned by operations on a closed Session.
+	ErrSessionClosed = cluster.ErrSessionClosed
+	// ErrSessionBroken is returned once a collective on the Session has
+	// failed or been cancelled: like an MPI communicator after a fatal
+	// error, the session refuses further operations — open a new one.
+	ErrSessionBroken = cluster.ErrSessionBroken
+)
+
+// sessionOptions is the merged view of a call's functional options.
+type sessionOptions struct {
+	engine     Engine
+	engineSet  bool
+	tracer     *TraceCollector
+	plan       *FaultPlan
+	profile    Profile
+	profileSet bool
+}
+
+// Option configures OpenSession or an individual Session operation.
+// WithEngine and WithProfile are session-level only; WithTracer and
+// WithFaultPlan are valid at both levels, the per-operation value
+// overriding the session default for that collective.
+type Option func(*sessionOptions)
+
+// WithEngine selects the execution backend (session-level only;
+// default EngineChan).
+func WithEngine(e Engine) Option {
+	return func(o *sessionOptions) { o.engine, o.engineSet = e, true }
+}
+
+// WithTracer attaches an activity-timeline collector: every send,
+// recv-wait, encrypt, decrypt, copy and barrier interval of every rank
+// is recorded (wall-clock seconds on chan/tcp, virtual seconds on sim).
+func WithTracer(col *TraceCollector) Option {
+	return func(o *sessionOptions) { o.tracer = col }
+}
+
+// WithFaultPlan applies a deterministic fault-injection plan (chan and
+// tcp engines). A fresh injector is armed per collective, so the plan's
+// frame counters restart each operation.
+func WithFaultPlan(plan *FaultPlan) Option {
+	return func(o *sessionOptions) { o.plan = plan }
+}
+
+// WithProfile sets the machine model for EngineSim (session-level only;
+// required for sim sessions, ignored by the real engines).
+func WithProfile(prof Profile) Option {
+	return func(o *sessionOptions) { o.profile, o.profileSet = prof, true }
+}
+
+func applyOpts(opts []Option) *sessionOptions {
+	o := &sessionOptions{}
+	for _, fn := range opts {
+		if fn != nil {
+			fn(o)
+		}
+	}
+	return o
+}
+
+// opLevel validates a per-operation option list.
+func opLevel(opts []Option) (*sessionOptions, error) {
+	o := applyOpts(opts)
+	if o.engineSet {
+		return nil, errors.New("encag: WithEngine is a session-level option; pass it to OpenSession")
+	}
+	if o.profileSet {
+		return nil, errors.New("encag: WithProfile is a session-level option; pass it to OpenSession")
+	}
+	return o, nil
+}
+
+// Session is a persistent collective runtime: open once, run many
+// collectives over long-lived engine state, close once. For EngineTCP
+// the listeners, dialed links, handshakes, sequence gates and per-pair
+// crypto state survive across operations — only the first collective
+// pays the O(p²) mesh setup the per-call entry points (RunOverTCP et
+// al.) re-pay every time; every frame carries an operation epoch so
+// stragglers from an earlier collective are discarded. For EngineChan
+// the sealer and rank goroutine pool persist. EngineSim sessions hold
+// the machine profile.
+//
+// Contexts passed to the collective methods cancel mid-operation on the
+// real engines: the run aborts and drains through the structured
+// RankError machinery (Op "cancel") without leaking goroutines. Any
+// failed or cancelled collective breaks the session (ErrSessionBroken).
+type Session struct {
+	spec   Spec
+	cs     cluster.Spec
+	engine Engine
+	plan   *FaultPlan // session-level default
+	inner  *cluster.Session
+}
+
+// OpenSession validates the spec, stands up the persistent engine state
+// and returns the ready session. The context bounds session setup (it
+// is checked before the TCP mesh is dialed); it does not have to outlive
+// the session. Defaults: EngineChan, no tracer, no fault plan.
+func OpenSession(ctx context.Context, spec Spec, opts ...Option) (*Session, error) {
+	o := applyOpts(opts)
+	kind, err := o.engine.kind()
+	if err != nil {
+		return nil, err
+	}
+	if kind == cluster.EngineSim && !o.profileSet {
+		return nil, errors.New("encag: EngineSim sessions require WithProfile")
+	}
+	cs, err := spec.toCluster()
+	if err != nil {
+		return nil, err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	cfg := cluster.SessionConfig{Engine: kind, Plan: o.plan, Profile: o.profile}
+	if o.tracer != nil {
+		cfg.Tracer = o.tracer
+	}
+	inner, err := cluster.OpenSession(cs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng := o.engine
+	if eng == "" {
+		eng = EngineChan
+	}
+	return &Session{spec: spec, cs: cs, engine: eng, plan: o.plan, inner: inner}, nil
+}
+
+// Engine returns the session's execution backend.
+func (s *Session) Engine() Engine { return s.engine }
+
+// Spec returns the session's job layout.
+func (s *Session) Spec() Spec { return s.spec }
+
+// Err returns the error that broke the session, or nil while healthy.
+func (s *Session) Err() error { return s.inner.Err() }
+
+// Rekey replaces the session's AES-GCM key with a fresh random one
+// between collectives (chan and tcp engines; a no-op on sim, which only
+// models crypto cost). Subsequent operations seal under the new key and
+// the nonce audit restarts with it.
+func (s *Session) Rekey() error { return s.inner.Rekey() }
+
+// Close tears down the persistent engine state (TCP mesh, rank pool).
+// Idempotent; always returns nil.
+func (s *Session) Close() error { return s.inner.Close() }
+
+// WireReport is the byte-level view an inter-node eavesdropper got of an
+// EngineTCP session, cumulative over every collective run on it.
+type WireReport struct {
+	// Bytes is the total inter-node volume observed.
+	Bytes int64
+	// Truncated reports that the capture buffer hit its cap and dropped
+	// bytes: Observed then only covers the captured prefix.
+	Truncated bool
+
+	sniffer *cluster.WireSniffer
+}
+
+// Observed reports whether needle appeared in the captured inter-node
+// wire bytes.
+func (w *WireReport) Observed(needle []byte) bool {
+	if w == nil || w.sniffer == nil {
+		return false
+	}
+	return w.sniffer.Contains(needle)
+}
+
+// Wire returns the session's cumulative wire capture (EngineTCP only;
+// nil on other engines, which have no wire).
+func (s *Session) Wire() *WireReport {
+	sn := s.inner.Sniffer()
+	if sn == nil {
+		return nil
+	}
+	return &WireReport{Bytes: sn.Total(), Truncated: sn.Truncated(), sniffer: sn}
+}
+
+// WireClean reports whether none of the deterministic per-rank test
+// patterns of msgSize bytes appear in the captured inter-node wire
+// bytes (EngineTCP; trivially true on engines without a wire, and for
+// patterns under 16 bytes, which are too short to scan meaningfully).
+func (s *Session) WireClean(msgSize int64) bool {
+	sn := s.inner.Sniffer()
+	if sn == nil || msgSize < 16 {
+		return true
+	}
+	for r := 0; r < s.cs.P; r++ {
+		if sn.Contains(block.FillPattern(r, msgSize)) {
+			return false
+		}
+	}
+	return true
+}
+
+// planActive reports whether this operation runs under a fault plan.
+func (s *Session) planActive(o *sessionOptions) bool {
+	return o.plan != nil || s.plan != nil
+}
+
+// buildOp assembles the cluster-level operation from per-call options.
+func buildOp(alg cluster.Algorithm, o *sessionOptions) cluster.Op {
+	op := cluster.Op{Algo: alg, Plan: o.plan}
+	if o.tracer != nil {
+		op.Tracer = o.tracer
+	}
+	return op
+}
+
+// runResult converts a cluster result into the public RunResult,
+// normalizing every rank's gathered view. sizes is nil for uniform
+// blocks of msgSize bytes.
+func (s *Session) runResult(res *cluster.RealResult, sizes []int64, msgSize int64) (*RunResult, error) {
+	out := &RunResult{
+		Gathered:      make([][][]byte, s.cs.P),
+		Metrics:       res.Critical,
+		SecurityOK:    res.Audit.Clean() && !res.Sealer.DuplicateNonceSeen(),
+		InterMessages: res.Audit.InterMsgs,
+		IntraMessages: res.Audit.IntraMsgs,
+		Violations:    append([]string(nil), res.Audit.Violations...),
+		Elapsed:       res.Elapsed,
+	}
+	for r, msg := range res.Results {
+		var payloads [][]byte
+		var err error
+		if sizes != nil {
+			payloads, err = block.NormalizeV(msg, sizes, false)
+		} else {
+			payloads, err = block.Normalize(msg, s.cs.P, msgSize, false)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("encag: rank %d: %w", r, err)
+		}
+		out.Gathered[r] = payloads
+	}
+	return out, nil
+}
+
+// validateUniform applies the engine-appropriate end-of-run gather
+// validation for self-generated (deterministic-pattern) payloads.
+func (s *Session) validateUniform(algorithm string, msgSize int64, res *cluster.RealResult, o *sessionOptions) error {
+	checkPayload := s.engine == EngineTCP || s.planActive(o)
+	err := cluster.ValidateGather(s.cs, msgSize, res.Results, checkPayload)
+	if err == nil {
+		return nil
+	}
+	if s.planActive(o) {
+		// Corruption that survived transport (unauthenticated bytes the
+		// plan hit) must fail closed as a structured error, never be
+		// silently delivered.
+		return &RankError{Rank: -1, Peer: -1, Op: "validate",
+			Err: fmt.Errorf("fault corrupted the gathered result: %w", err)}
+	}
+	if s.engine == EngineTCP {
+		return fmt.Errorf("encag: %s produced an invalid gather over TCP: %w", algorithm, err)
+	}
+	return fmt.Errorf("encag: %s produced an invalid gather: %w", algorithm, err)
+}
+
+// Run executes one encrypted all-gather with deterministic per-rank test
+// payloads of msgSize bytes on the session's chan or tcp engine (use
+// Simulate on sim sessions). Per-op options: WithTracer, WithFaultPlan.
+func (s *Session) Run(ctx context.Context, algorithm string, msgSize int64, opts ...Option) (*RunResult, error) {
+	o, err := opLevel(opts)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := lookup(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	op := buildOp(alg, o)
+	op.MsgSize = msgSize
+	res, err := s.inner.Collective(ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.validateUniform(algorithm, msgSize, res, o); err != nil {
+		return nil, err
+	}
+	return s.runResult(res, nil, msgSize)
+}
+
+// Allgather executes one encrypted all-gather with caller-supplied
+// contributions on the session's chan or tcp engine: data[r] is rank
+// r's block (all equal length).
+func (s *Session) Allgather(ctx context.Context, algorithm string, data [][]byte, opts ...Option) (*RunResult, error) {
+	o, err := opLevel(opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != s.cs.P {
+		return nil, fmt.Errorf("encag: %d contributions for %d ranks", len(data), s.cs.P)
+	}
+	msgSize := int64(len(data[0]))
+	alg, err := lookup(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	op := buildOp(alg, o)
+	op.Payloads = data
+	op.Sizes = make([]int64, s.cs.P)
+	for r := range op.Sizes {
+		op.Sizes[r] = msgSize
+	}
+	res, err := s.inner.Collective(ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	// User-supplied bytes: validate structure only, never pattern content.
+	if err := cluster.ValidateGather(s.cs, msgSize, res.Results, false); err != nil {
+		return nil, fmt.Errorf("encag: %s produced an invalid gather: %w", algorithm, err)
+	}
+	return s.runResult(res, nil, msgSize)
+}
+
+// AllgatherV is the variable-block-size (all-gatherv) collective on the
+// session's chan or tcp engine: each rank's contribution may have a
+// different length, including zero.
+func (s *Session) AllgatherV(ctx context.Context, algorithm string, data [][]byte, opts ...Option) (*RunResult, error) {
+	o, err := opLevel(opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != s.cs.P {
+		return nil, fmt.Errorf("encag: %d contributions for %d ranks", len(data), s.cs.P)
+	}
+	alg, err := lookup(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	op := buildOp(alg, o)
+	op.Payloads = data
+	res, err := s.inner.Collective(ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int64, s.cs.P)
+	for r := range sizes {
+		sizes[r] = int64(len(data[r]))
+	}
+	if err := cluster.ValidateGatherV(s.cs, sizes, res.Results, false); err != nil {
+		return nil, fmt.Errorf("encag: %s produced an invalid gatherv: %w", algorithm, err)
+	}
+	return s.runResult(res, sizes, 0)
+}
+
+// Allreduce performs one encrypted all-reduce on the session's chan or
+// tcp engine: data[r] is rank r's vector (all equal length); op combines
+// two vectors and must be associative and commutative, like an MPI_Op.
+func (s *Session) Allreduce(ctx context.Context, data [][]byte, op CombineFunc, opts ...Option) (*ReduceResult, error) {
+	o, err := opLevel(opts)
+	if err != nil {
+		return nil, err
+	}
+	if s.engine == EngineSim {
+		return nil, errors.New("encag: Allreduce needs a chan or tcp session")
+	}
+	if len(data) != s.cs.P {
+		return nil, fmt.Errorf("encag: %d contributions for %d ranks", len(data), s.cs.P)
+	}
+	m := int64(len(data[0]))
+	cop := buildOp(encrypted.AllreduceHS(op), o)
+	cop.Payloads = data
+	cop.Sizes = make([]int64, s.cs.P)
+	for r := range cop.Sizes {
+		cop.Sizes[r] = m
+	}
+	res, err := s.inner.Collective(ctx, cop)
+	if err != nil {
+		return nil, err
+	}
+	var reference []byte
+	for r, msg := range res.Results {
+		var got []byte
+		for _, c := range msg.Chunks {
+			if c.Enc {
+				return nil, fmt.Errorf("encag: rank %d result still encrypted", r)
+			}
+			got = append(got, c.Payload...)
+		}
+		if int64(len(got)) != m {
+			return nil, fmt.Errorf("encag: rank %d reduced to %d bytes, want %d", r, len(got), m)
+		}
+		if reference == nil {
+			reference = got
+		} else if !bytes.Equal(reference, got) {
+			return nil, fmt.Errorf("encag: ranks disagree on the reduction result")
+		}
+	}
+	return &ReduceResult{
+		Result:     reference,
+		Metrics:    res.Critical,
+		SecurityOK: res.Audit.Clean() && !res.Sealer.DuplicateNonceSeen(),
+		Violations: append([]string(nil), res.Audit.Violations...),
+		Elapsed:    res.Elapsed,
+	}, nil
+}
+
+// Simulate runs one collective on an EngineSim session's discrete-event
+// model and reports the projected latency and cost metrics. The context
+// is checked on entry only: sim runs execute in virtual time and are not
+// cancellable mid-flight.
+func (s *Session) Simulate(ctx context.Context, algorithm string, msgSize int64, opts ...Option) (SimResult, error) {
+	o, err := opLevel(opts)
+	if err != nil {
+		return SimResult{}, err
+	}
+	alg, err := lookup(algorithm)
+	if err != nil {
+		return SimResult{}, err
+	}
+	op := buildOp(alg, o)
+	op.MsgSize = msgSize
+	res, err := s.inner.Sim(ctx, op)
+	if err != nil {
+		return SimResult{}, err
+	}
+	if err := cluster.ValidateGather(s.cs, msgSize, res.Results, false); err != nil {
+		return SimResult{}, fmt.Errorf("encag: %s produced an invalid gather: %w", algorithm, err)
+	}
+	return SimResult{
+		Latency:    res.LatencyD,
+		Metrics:    res.Critical,
+		InterBytes: res.InterBytes,
+		IntraBytes: res.IntraBytes,
+	}, nil
+}
+
+// SimulateV is the all-gatherv variant of Simulate: sizes[r] is rank
+// r's contribution length in bytes.
+func (s *Session) SimulateV(ctx context.Context, algorithm string, sizes []int64, opts ...Option) (SimResult, error) {
+	o, err := opLevel(opts)
+	if err != nil {
+		return SimResult{}, err
+	}
+	alg, err := lookup(algorithm)
+	if err != nil {
+		return SimResult{}, err
+	}
+	op := buildOp(alg, o)
+	op.Sizes = sizes
+	res, err := s.inner.Sim(ctx, op)
+	if err != nil {
+		return SimResult{}, err
+	}
+	if err := cluster.ValidateGatherV(s.cs, sizes, res.Results, false); err != nil {
+		return SimResult{}, fmt.Errorf("encag: %s produced an invalid gatherv: %w", algorithm, err)
+	}
+	return SimResult{
+		Latency:    res.LatencyD,
+		Metrics:    res.Critical,
+		InterBytes: res.InterBytes,
+		IntraBytes: res.IntraBytes,
+	}, nil
+}
