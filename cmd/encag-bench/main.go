@@ -11,6 +11,7 @@
 //	encag-bench -quick           # trimmed sizes for a fast smoke run
 //	encag-bench -list            # list experiment IDs
 //	encag-bench -session -iters 20 -jsonl   # session-amortization study only
+//	encag-bench -overlap -iters 12 -jsonl   # nonblocking-scheduler overlap study only
 package main
 
 import (
@@ -31,10 +32,14 @@ func main() {
 	outDir := flag.String("out", "", "also write each table as CSV into this directory")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	session := flag.Bool("session", false, "shortcut for -exp session (per-call dial vs session reuse)")
+	overlap := flag.Bool("overlap", false, "shortcut for -exp overlap (serialized vs multiplexed in-flight collectives)")
 	iters := flag.Int("iters", 0, "iteration count for host-measuring experiments (0 = default)")
 	flag.Parse()
 	if *session {
 		*exp = "session"
+	}
+	if *overlap {
+		*exp = "overlap"
 	}
 
 	if *list {

@@ -13,11 +13,16 @@
 //
 //	encag-osu -p 32 -nodes 4 -algs naive,hs2 -sizes 1KB,64KB -iters 20
 //	encag-osu -session -engine tcp -iters 50   # persistent-session mode
+//	encag-osu -session -engine tcp -window 4   # nonblocking: pipelined Start
 //
 // With -session, all iterations of all configurations run over ONE
 // persistent encag.Session (mesh dialed once); without it, every
 // iteration is an independent one-shot run — the difference is the
-// setup amortization the session runtime provides.
+// setup amortization the session runtime provides. With -window n (>1,
+// requires -session), the timed iterations are issued through the
+// nonblocking Session.Start under an in-flight window of n: the avg
+// column then reports batch wall clock per collective (pipelined
+// throughput), while min/max/stddev remain per-operation and overlap.
 package main
 
 import (
@@ -62,8 +67,13 @@ func main() {
 	cryptoWorkers := flag.Int("crypto-workers", 0, "AES-GCM worker pool size (0 = shared GOMAXPROCS pool)")
 	segmentStr := flag.String("segment-size", "", "AES-GCM segmentation split size, e.g. 64KB (empty = default)")
 	useSession := flag.Bool("session", false, "run all iterations over one persistent Session instead of per-call runs")
+	window := flag.Int("window", 1, "pipeline iterations through Session.Start with this in-flight window (>1 requires -session)")
 	engineStr := flag.String("engine", "chan", "execution engine: chan or tcp")
 	flag.Parse()
+	if *window > 1 && !*useSession {
+		fmt.Fprintln(os.Stderr, "-window requires -session (nonblocking Start multiplexes one session's mesh)")
+		os.Exit(2)
+	}
 
 	var segSize int64
 	if *segmentStr != "" {
@@ -94,7 +104,8 @@ func main() {
 	}
 	var sess *encag.Session
 	if *useSession {
-		s, err := encag.OpenSession(context.Background(), spec, encag.WithEngine(engine))
+		s, err := encag.OpenSession(context.Background(), spec,
+			encag.WithEngine(engine), encag.WithMaxInFlight(*window))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -133,20 +144,11 @@ func main() {
 			var samples []float64
 			var metrics encag.Metrics
 			ok := true
-			for i := 0; i < *warmup+*iters; i++ {
-				res, err := runOnce(alg, m)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "%s @%s: %v\n", alg, bench.SizeName(m), err)
-					ok = false
-					break
-				}
+			// collect folds one timed result into the running stats.
+			collect := func(res *encag.RunResult) bool {
 				if !res.SecurityOK {
 					fmt.Fprintf(os.Stderr, "%s @%s: security violation\n", alg, bench.SizeName(m))
-					ok = false
-					break
-				}
-				if i < *warmup {
-					continue
+					return false
 				}
 				d := res.Elapsed
 				total += d
@@ -158,6 +160,59 @@ func main() {
 					maxD = d
 				}
 				metrics = res.Metrics
+				return true
+			}
+			if *window > 1 {
+				// Nonblocking mode: warm up serially, then pipeline the
+				// timed iterations through Start. Per-op elapsed times
+				// overlap, so the avg column reports batch wall clock per
+				// collective — the OSU-style pipelined throughput figure.
+				for i := 0; i < *warmup; i++ {
+					if _, err := runOnce(alg, m); err != nil {
+						fmt.Fprintf(os.Stderr, "%s @%s: %v\n", alg, bench.SizeName(m), err)
+						ok = false
+						break
+					}
+				}
+				batch := time.Now()
+				var handles []*encag.Handle
+				for i := 0; ok && i < *iters; i++ {
+					h, err := sess.Start(context.Background(), alg, m)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "%s @%s: %v\n", alg, bench.SizeName(m), err)
+						ok = false
+						break
+					}
+					handles = append(handles, h)
+				}
+				for _, h := range handles {
+					res, err := h.Wait()
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "%s @%s: %v\n", alg, bench.SizeName(m), err)
+						ok = false
+						continue
+					}
+					if !collect(res) {
+						ok = false
+					}
+				}
+				total = time.Since(batch)
+			} else {
+				for i := 0; i < *warmup+*iters; i++ {
+					res, err := runOnce(alg, m)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "%s @%s: %v\n", alg, bench.SizeName(m), err)
+						ok = false
+						break
+					}
+					if i < *warmup {
+						continue
+					}
+					if !collect(res) {
+						ok = false
+						break
+					}
+				}
 			}
 			if !ok {
 				continue

@@ -50,6 +50,7 @@ func All() []Experiment {
 		{"fig8", "Encrypted algorithms, cyclic mapping (Figure 8)", Figure8},
 		{"crypto", "Serial vs segmented-parallel AES-GCM seal/open (this host)", Crypto},
 		{"session", "Per-call TCP dial vs persistent session reuse (this host)", SessionAmortization},
+		{"overlap", "Serialized vs multiplexed in-flight all-gathers (this host)", Overlap},
 		{"ablation", "Design-choice ablations (DESIGN.md)", Ablations},
 		{"sensitivity", "Overheads vs crypto/network speed ratio (extension study)", Sensitivity},
 		{"breakdown", "Critical-rank time breakdown per algorithm (trace study)", Breakdown},

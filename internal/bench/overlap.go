@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"encag"
+)
+
+// Overlap measures what the nonblocking scheduler buys: a batch of N
+// all-gathers issued back-to-back with Session.Run completes them
+// strictly one after another, while the same batch issued with
+// Session.Start under an in-flight window of w keeps up to w
+// collectives interleaving their frames on the shared mesh. Small
+// messages pipeline well — each op alone leaves most of every link
+// idle between its frames — so the windowed columns should beat the
+// serialized one clearly at 1KB and more modestly at 64KB, where the
+// links are already kept busy by a single op.
+func Overlap(opts Options) ([]Table, error) {
+	ops := opts.Iters
+	if ops <= 0 {
+		ops = 12
+	}
+	if opts.Quick && ops > 6 {
+		ops = 6
+	}
+	spec := encag.Spec{Procs: 8, Nodes: 2}
+	const alg = "c-ring"
+	windows := []int{2, 4, 8}
+	szs := trimSizes(sizes("1KB", "64KB"), opts)
+	t := Table{
+		ID:    "overlap",
+		Title: fmt.Sprintf("Serialized vs multiplexed in-flight all-gathers (%s, p=%d N=%d, %d ops)", alg, spec.Procs, spec.Nodes, ops),
+		Headers: []string{"engine", "size", "ops",
+			"serialized(us)", "w=2(us)", "w=4(us)", "w=8(us)", "best-speedup"},
+		Notes: []string{
+			"serialized: N back-to-back Session.Run calls on one session",
+			"w=k: the same N collectives via Session.Start under WithMaxInFlight(k), then WaitAll",
+			"session setup and warm-up are untimed: this is steady-state pipelining, not mesh amortization (see the session experiment)",
+			"wall clock on this host; loopback sockets, real AES-GCM",
+		},
+	}
+	for _, eng := range []encag.Engine{encag.EngineChan, encag.EngineTCP} {
+		for _, m := range szs {
+			serialized, err := timeOverlap(eng, spec, alg, m, ops, 1)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{string(eng), SizeName(m), fmt.Sprint(ops), fmtUS(serialized.Seconds())}
+			best := serialized
+			for _, w := range windows {
+				d, err := timeOverlap(eng, spec, alg, m, ops, w)
+				if err != nil {
+					return nil, err
+				}
+				if d < best {
+					best = d
+				}
+				row = append(row, fmtUS(d.Seconds()))
+			}
+			row = append(row, fmt.Sprintf("%.2fx", serialized.Seconds()/best.Seconds()))
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return []Table{t}, nil
+}
+
+// timeOverlap times ops collectives on a fresh session with the given
+// in-flight window: window 1 issues them serially through Run, larger
+// windows through Start/WaitAll. Open, one warm-up collective and Close
+// stay outside the timed region.
+func timeOverlap(eng encag.Engine, spec encag.Spec, alg string, m int64, ops, window int) (time.Duration, error) {
+	ctx := context.Background()
+	s, err := encag.OpenSession(ctx, spec, encag.WithEngine(eng), encag.WithMaxInFlight(window))
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	if _, err := s.Run(ctx, alg, m); err != nil {
+		return 0, fmt.Errorf("overlap warm-up %s/%s @%s: %w", eng, alg, SizeName(m), err)
+	}
+	start := time.Now()
+	if window <= 1 {
+		for i := 0; i < ops; i++ {
+			res, err := s.Run(ctx, alg, m)
+			if err != nil {
+				return 0, fmt.Errorf("overlap serialized %s/%s @%s op %d: %w", eng, alg, SizeName(m), i, err)
+			}
+			if !res.SecurityOK {
+				return 0, fmt.Errorf("overlap serialized %s/%s @%s op %d: security violation", eng, alg, SizeName(m), i)
+			}
+		}
+		return time.Since(start), nil
+	}
+	handles := make([]*encag.Handle, ops)
+	for i := 0; i < ops; i++ {
+		handles[i], err = s.Start(ctx, alg, m)
+		if err != nil {
+			return 0, fmt.Errorf("overlap w=%d %s/%s @%s Start %d: %w", window, eng, alg, SizeName(m), i, err)
+		}
+	}
+	if err := s.WaitAll(ctx); err != nil {
+		return 0, fmt.Errorf("overlap w=%d %s/%s @%s: %w", window, eng, alg, SizeName(m), err)
+	}
+	elapsed := time.Since(start)
+	for i, h := range handles {
+		res, herr := h.Wait()
+		if herr != nil {
+			return 0, fmt.Errorf("overlap w=%d %s/%s @%s op %d: %w", window, eng, alg, SizeName(m), i, herr)
+		}
+		if !res.SecurityOK {
+			return 0, fmt.Errorf("overlap w=%d %s/%s @%s op %d: security violation", window, eng, alg, SizeName(m), i)
+		}
+	}
+	return elapsed, nil
+}

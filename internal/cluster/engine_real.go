@@ -8,6 +8,7 @@ import (
 
 	"encag/internal/block"
 	"encag/internal/fault"
+	"encag/internal/sched"
 	"encag/internal/seal"
 )
 
@@ -65,10 +66,110 @@ type envelope struct {
 // the trusted node.
 type Adversary func(src, dst int, msg block.Message) block.Message
 
+// chanJob is one message awaiting its turn on a rank's send scheduler.
+type chanJob struct {
+	op  *realEngine
+	dst int
+	msg block.Message
+}
+
+// chanMesh is the persistent transport state of a channel-engine
+// session: one fair send queue and one send-scheduler goroutine per
+// rank, plus the registry of in-flight operations. The chan engine has
+// no connections, so the demux is the delivery path itself: every
+// message carries its operation's id, the scheduler looks the id up in
+// the registry at delivery time, and messages of retired operations are
+// dropped — the same straggler semantics as the TCP demux.
+type chanMesh struct {
+	spec    Spec
+	reg     *opRegistry[*realEngine]
+	sendQ   []*sched.FairQueue[chanJob]
+	senders sync.WaitGroup
+}
+
+func newChanMesh(spec Spec) *chanMesh {
+	m := &chanMesh{
+		spec:  spec,
+		reg:   newOpRegistry[*realEngine](),
+		sendQ: make([]*sched.FairQueue[chanJob], spec.P),
+	}
+	for r := 0; r < spec.P; r++ {
+		m.sendQ[r] = sched.NewFairQueue[chanJob]()
+		m.senders.Add(1)
+		go m.sendLoop(r)
+	}
+	return m
+}
+
+// sendLoop is rank src's send scheduler: it drains the rank's fair
+// queue round-robin across the streams of concurrent operations,
+// applies the owning operation's fault verdicts (message-level: a
+// dropped or partially written frame is simply lost in transit), and
+// delivers into the operation's unbounded inbox — so a slow operation
+// can never head-of-line-block a sibling's messages.
+func (m *chanMesh) sendLoop(src int) {
+	defer m.senders.Done()
+	for {
+		job, ok := m.sendQ[src].Pop()
+		if !ok {
+			return
+		}
+		e := job.op
+		if e.isAborted() {
+			continue
+		}
+		msg := job.msg
+		if e.inj != nil {
+			v := e.inj.SendFrame(src, job.dst)
+			e.inj.Sleep(v.Stall)
+			if v.CorruptAt >= 0 {
+				msg = corruptMessage(msg, v.CorruptAt)
+			}
+			if v.Drop || v.PartialKeep >= 0 {
+				// The channel transport has no connection to re-establish:
+				// the message is lost in transit and the receiver's bounded
+				// recv deadline turns the loss into a structured error.
+				continue
+			}
+		}
+		if _, live := m.reg.get(e.id); !live {
+			continue // retired operation: dropped, never misrouted
+		}
+		var start float64
+		if e.wt.active() {
+			start = e.wt.now()
+		}
+		e.inboxes[job.dst].push(envelope{src: src, msg: msg})
+		if e.wt.active() {
+			e.wt.emit(src, TraceSend, start, msg.WireLen(), job.dst)
+		}
+	}
+}
+
+// abortLive aborts every registered operation with the given cause
+// (session close path).
+func (m *chanMesh) abortLive(cause error) {
+	m.reg.each(func(e *realEngine) {
+		e.failAsync(&RankError{Rank: -1, Peer: -1, Op: "closed", Err: cause})
+	})
+}
+
+// close shuts the send schedulers down and waits for them.
+func (m *chanMesh) close() {
+	for _, q := range m.sendQ {
+		if q != nil {
+			q.Close()
+		}
+	}
+	m.senders.Wait()
+}
+
 type realEngine struct {
 	spec      Spec
 	slr       *seal.Sealer
-	boxes     []chan envelope     // one inbox per rank
+	mesh      *chanMesh
+	id        uint32
+	inboxes   []*opInbox          // one unbounded inbox per rank
 	pend      [][][]block.Message // [rank][src] buffered out-of-order arrivals
 	shm       []*realShm
 	bars      []*realBarrier
@@ -93,6 +194,22 @@ func (e *realEngine) abort() {
 			b.abort()
 		}
 	})
+}
+
+func (e *realEngine) isAborted() bool {
+	select {
+	case <-e.aborted:
+		return true
+	default:
+		return false
+	}
+}
+
+// failAsync is fail for non-rank goroutines (send scheduler, session
+// close): record the root cause and abort, without a panic.
+func (e *realEngine) failAsync(re *RankError) {
+	e.fails.record(re)
+	e.abort()
 }
 
 type realShm struct {
@@ -160,37 +277,19 @@ func (e *realEngine) fail(re *RankError) {
 	panic(re)
 }
 
+// isend enqueues the message on the rank's send scheduler and returns
+// immediately — the scheduler interleaves the streams of concurrent
+// operations fairly and applies this operation's fault verdicts in the
+// rank's program order per pair, keeping plans deterministic.
 func (e *realEngine) isend(p *Proc, dst int, msg block.Message) Request {
 	e.audit.record(e.spec, p.rank, dst, msg)
 	if e.adversary != nil && !e.spec.SameNode(p.rank, dst) {
 		msg = e.adversary(p.rank, dst, msg)
 	}
-	if e.inj != nil {
-		v := e.inj.SendFrame(p.rank, dst)
-		e.inj.Sleep(v.Stall)
-		if v.CorruptAt >= 0 {
-			msg = corruptMessage(msg, v.CorruptAt)
-		}
-		if v.Drop || v.PartialKeep >= 0 {
-			// The channel transport has no connection to re-establish: a
-			// dropped or partially written frame is simply lost in
-			// transit. The receiver's bounded recv deadline turns the
-			// loss into a structured error.
-			return realSendReq{}
-		}
-	}
-	var start float64
-	if e.wt.active() {
-		start = e.wt.now()
-	}
-	select {
-	case e.boxes[dst] <- envelope{src: p.rank, msg: msg}:
-	case <-e.aborted:
+	if e.isAborted() {
 		panic(errRunAborted)
 	}
-	if e.wt.active() {
-		e.wt.emit(p.rank, TraceSend, start, msg.WireLen(), dst)
-	}
+	e.mesh.sendQ[p.rank].Push(e.id, chanJob{op: e, dst: dst, msg: msg})
 	return realSendReq{}
 }
 
@@ -223,20 +322,24 @@ func (e *realEngine) wait(p *Proc, reqs []Request) []block.Message {
 // death) surfaces as a structured recv error instead of a deadlock.
 func (e *realEngine) recvFrom(rank, src int) block.Message {
 	pend := e.pend[rank]
-	if len(pend[src]) > 0 {
-		msg := pend[src][0]
-		pend[src] = pend[src][1:]
-		return msg
-	}
+	box := e.inboxes[rank]
 	deadline := time.NewTimer(e.recvTO)
 	defer deadline.Stop()
 	for {
-		select {
-		case env := <-e.boxes[rank]:
+		if len(pend[src]) > 0 {
+			msg := pend[src][0]
+			pend[src] = pend[src][1:]
+			return msg
+		}
+		if env, ok := box.pop(); ok {
 			if env.src == src {
 				return env.msg
 			}
 			pend[env.src] = append(pend[env.src], env.msg)
+			continue
+		}
+		select {
+		case <-box.sig:
 		case <-e.aborted:
 			panic(errRunAborted)
 		case <-deadline.C:
@@ -304,6 +407,11 @@ func (e *realEngine) nodeBarrier(p *Proc) {
 }
 
 func (e *realEngine) sealer() *seal.Sealer { return e.slr }
+
+// aad binds this operation's id into the AEAD associated data (see
+// appendOpID): concurrent operations share the session key, so the id
+// keeps their ciphertexts from authenticating across operations.
+func (e *realEngine) aad(h []byte) []byte { return appendOpID(h, e.id) }
 
 // RealResult is the outcome of RunReal.
 type RealResult struct {
@@ -417,14 +525,18 @@ func RunRealV(spec Spec, payloads [][]byte, algo Algorithm) (*RealResult, error)
 	return runReal(spec, 0, payloads, algo, nil, nil, nil)
 }
 
-// newRealEngine builds the per-operation channel-transport engine: fresh
-// inboxes, pending buffers, shared memory, barriers and audit for one
-// collective, over a (possibly session-shared) sealer.
-func newRealEngine(spec Spec, slr *seal.Sealer, adv Adversary, inj *fault.Injector, recvTO time.Duration, tracer Tracer) *realEngine {
+// newOp builds the per-operation channel-transport engine — fresh
+// unbounded inboxes, pending buffers, shared memory, barriers and audit
+// for one collective, over a (possibly session-shared) sealer — and
+// registers it as a live operation so the send schedulers route to it.
+func (m *chanMesh) newOp(id uint32, slr *seal.Sealer, adv Adversary, inj *fault.Injector, recvTO time.Duration, tracer Tracer) *realEngine {
+	spec := m.spec
 	e := &realEngine{
 		spec:      spec,
 		slr:       slr,
-		boxes:     make([]chan envelope, spec.P),
+		mesh:      m,
+		id:        id,
+		inboxes:   make([]*opInbox, spec.P),
 		pend:      make([][][]block.Message, spec.P),
 		shm:       make([]*realShm, spec.N),
 		bars:      make([]*realBarrier, spec.N),
@@ -436,13 +548,14 @@ func newRealEngine(spec Spec, slr *seal.Sealer, adv Adversary, inj *fault.Inject
 		aborted:   make(chan struct{}),
 	}
 	for r := 0; r < spec.P; r++ {
-		e.boxes[r] = make(chan envelope, 2*spec.P+16)
+		e.inboxes[r] = newOpInbox()
 		e.pend[r] = make([][]block.Message, spec.P)
 	}
 	for n := 0; n < spec.N; n++ {
 		e.shm[n] = &realShm{m: make(map[string]block.Message)}
 		e.bars[n] = newRealBarrier(spec.Ell())
 	}
+	m.reg.register(id, e)
 	return e
 }
 

@@ -216,6 +216,10 @@ func (e *simEngine) nodeBarrier(p *Proc) {
 
 func (e *simEngine) sealer() *seal.Sealer { return nil }
 
+// aad returns the header unchanged: the sim models crypto cost without
+// real keys, so there is no cross-operation authentication to bind.
+func (e *simEngine) aad(h []byte) []byte { return h }
+
 // SimResult is the outcome of RunSim.
 type SimResult struct {
 	Latency    float64       // modelled completion time of the last rank, seconds

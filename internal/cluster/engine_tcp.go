@@ -3,14 +3,18 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"syscall"
 	"sync/atomic"
 	"time"
 
 	"encag/internal/block"
 	"encag/internal/fault"
+	"encag/internal/sched"
 	"encag/internal/seal"
 	"encag/internal/wire"
 )
@@ -110,16 +114,26 @@ const (
 const DefaultRecvTimeout = 30 * time.Second
 
 // tcpLink is the sender-side state of one directed connection. The
-// owning rank goroutine is the only sender, but abort() closes the
-// current conn concurrently, so access goes through the mutex. Links —
-// and their monotone sequence counters — live as long as the mesh, so
-// frame numbering continues across the collectives of a session and the
-// receiver's sequence gates stay valid run-to-run.
+// owning rank's send scheduler goroutine is the only writer, but
+// teardown closes the current conn concurrently, so conn access goes
+// through the mutex. Links — and their monotone sequence counters —
+// live as long as the mesh, so frame numbering continues across the
+// collectives of a session and the receiver's sequence gates stay valid
+// run-to-run, even with frames of concurrent operations interleaved on
+// the link.
 type tcpLink struct {
 	mu   sync.Mutex
 	conn net.Conn
 	seq  uint64 // next frame sequence number
+	// inj is the fault injector of the operation whose frame is being
+	// written right now. The send scheduler arms it before each frame;
+	// the link's fault.Conn wrapper re-resolves it per frame, so one
+	// persistent connection serves the interleaved frames of many
+	// concurrent operations, each under its own fault plan.
+	inj atomic.Pointer[fault.Injector]
 }
+
+func (l *tcpLink) injProv() *fault.Injector { return l.inj.Load() }
 
 func (l *tcpLink) get() net.Conn {
 	l.mu.Lock()
@@ -146,6 +160,12 @@ func (l *tcpLink) nextSeq() uint64 {
 	return s
 }
 
+func (l *tcpLink) issued() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
 func (l *tcpLink) close() {
 	l.mu.Lock()
 	c := l.conn
@@ -159,7 +179,9 @@ func (l *tcpLink) close() {
 // frame resent after a transient failure may arrive twice (once through
 // the old connection, once through the new), and must be delivered once.
 // Gates persist for the mesh lifetime — sequence numbers never reset, so
-// dedup works across the collectives of a session too.
+// dedup works across the (possibly concurrent) collectives of a session
+// too: the gate orders the link's byte stream, the op-id routes each
+// admitted frame to its operation.
 type seqGate struct {
 	mu   sync.Mutex
 	next uint64
@@ -177,12 +199,27 @@ func (g *seqGate) admit(seq uint64) bool {
 	return true
 }
 
+func (g *seqGate) horizon() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.next
+}
+
+// tcpJob is one frame awaiting its turn on a rank's send scheduler.
+type tcpJob struct {
+	op  *tcpEngine
+	dst int
+	msg block.Message
+}
+
 // tcpMesh is the persistent transport state of a TCP session: one
 // listener and accept loop per rank, a dedicated dialed connection per
 // ordered rank pair (hello handshake done once), per-pair sequence
-// gates, and the session-lifetime wire sniffer. Collectives come and go
-// as per-operation tcpEngines; the mesh outlives them all until the
-// session closes or an operation fails.
+// gates, one send-scheduler goroutine per rank, a registry of in-flight
+// operations, and the session-lifetime wire sniffer. Collectives come
+// and go as per-operation tcpEngines, many of them concurrently; the
+// mesh outlives them all until the session closes or the transport
+// itself becomes unrecoverable (ErrMeshDown).
 type tcpMesh struct {
 	spec      Spec
 	links     [][]*tcpLink // [src][dst], nil on the diagonal
@@ -190,22 +227,60 @@ type tcpMesh struct {
 	listeners []net.Listener
 	gates     [][]*seqGate // [dst][src]
 	sniffer   *WireSniffer
-	// op is the engine of the collective currently in flight (nil
-	// between operations). Readers load it per frame: frames whose epoch
-	// does not match the current operation are stragglers and dropped.
-	op atomic.Pointer[tcpEngine]
-	// inj is the current operation's fault injector (nil for none); the
-	// provider-based conn wrappers re-resolve it at every frame/read so
-	// the persistent connections honor per-operation plans.
-	inj       atomic.Pointer[fault.Injector]
+	// reg maps live op-ids to their engines: connection readers demux
+	// each admitted frame to the engine registered under the frame's
+	// op-id and drop frames of retired operations (stragglers).
+	reg *opRegistry[*tcpEngine]
+	// sendQ[src] is rank src's fair send queue: one stream per in-flight
+	// operation, drained by a single scheduler goroutine per rank so
+	// frames of concurrent operations interleave fairly on the shared
+	// links while each link keeps exactly one writer.
+	sendQ     []*sched.FairQueue[tcpJob]
+	sendersWG sync.WaitGroup
 	readersWG sync.WaitGroup
 	downOnce  sync.Once
+
+	// tracked holds the live readers' progress trackers, so the mesh can
+	// diagnose a reader starved mid-frame by length-field corruption.
+	trackMu sync.Mutex
+	tracked map[*readTracker]struct{}
+
+	errMu sync.Mutex
+	err   error // ErrMeshDown-wrapped cause once the mesh is broken
 }
 
-func (m *tcpMesh) injProv() *fault.Injector { return m.inj.Load() }
+func (m *tcpMesh) track(t *readTracker) {
+	m.trackMu.Lock()
+	m.tracked[t] = struct{}{}
+	m.trackMu.Unlock()
+}
 
-// newTCPMesh listens, starts the accept loops and dials the full O(p^2)
-// connection mesh — the setup cost a session pays exactly once.
+func (m *tcpMesh) untrack(t *readTracker) {
+	m.trackMu.Lock()
+	delete(m.tracked, t)
+	m.trackMu.Unlock()
+}
+
+// readerStalled reports a live reader stuck mid-frame with no byte
+// progress for readerStallAfter or longer — the signature of a
+// corrupted length or count field, which leaves the decoder silently
+// swallowing every later frame on the stream. Checked (with gateDesync)
+// when an operation fails, to decide whether the mesh is unrecoverable.
+func (m *tcpMesh) readerStalled() error {
+	m.trackMu.Lock()
+	defer m.trackMu.Unlock()
+	for t := range m.tracked {
+		if d, mid := t.starved(); mid && d >= readerStallAfter {
+			return fmt.Errorf("frame stream %d->%d starved mid-frame for %v (corrupted length field?)",
+				t.src, t.dst, d.Round(time.Millisecond))
+		}
+	}
+	return nil
+}
+
+// newTCPMesh listens, starts the accept loops, dials the full O(p^2)
+// connection mesh and starts the per-rank send schedulers — the setup
+// cost a session pays exactly once.
 func newTCPMesh(spec Spec) (*tcpMesh, error) {
 	m := &tcpMesh{
 		spec:      spec,
@@ -214,12 +289,18 @@ func newTCPMesh(spec Spec) (*tcpMesh, error) {
 		listeners: make([]net.Listener, spec.P),
 		gates:     make([][]*seqGate, spec.P),
 		sniffer:   &WireSniffer{},
+		reg:       newOpRegistry[*tcpEngine](),
+		sendQ:     make([]*sched.FairQueue[tcpJob], spec.P),
+		tracked:   make(map[*readTracker]struct{}),
 	}
 	for r := 0; r < spec.P; r++ {
 		m.links[r] = make([]*tcpLink, spec.P)
 		m.gates[r] = make([]*seqGate, spec.P)
 		for s := 0; s < spec.P; s++ {
 			m.gates[r][s] = &seqGate{}
+			if r != s {
+				m.links[r][s] = &tcpLink{}
+			}
 		}
 	}
 	// One listener per rank, each with a persistent accept loop: beyond
@@ -257,23 +338,29 @@ func newTCPMesh(spec Spec) (*tcpMesh, error) {
 			if s == d {
 				continue
 			}
-			conn, err := m.connect(s, d)
+			conn, err := m.connect(s, d, m.links[s][d])
 			if err != nil {
 				m.close()
 				return nil, &RankError{Rank: s, Peer: d, Op: "dial", Err: err}
 			}
-			m.links[s][d] = &tcpLink{conn: conn}
+			m.links[s][d].conn = conn
 		}
+	}
+	for r := 0; r < spec.P; r++ {
+		m.sendQ[r] = sched.NewFairQueue[tcpJob]()
+		m.sendersWG.Add(1)
+		go m.sendLoop(r)
 	}
 	return m, nil
 }
 
 // connect dials dst's listener and identifies src with a hello frame;
 // the conn is wrapped with the wire sniffer (inter-node pairs) and the
-// provider-based fault wrapper, which re-resolves the mesh's current
-// injector at each frame so the same connection serves faulty and clean
-// operations alike. Used for both initial setup and reconnects.
-func (m *tcpMesh) connect(src, dst int) (net.Conn, error) {
+// provider-based fault wrapper, which re-resolves the link's currently
+// armed injector at each frame, so the same connection serves the
+// interleaved frames of concurrent operations under their own fault
+// plans. Used for both initial setup and reconnects.
+func (m *tcpMesh) connect(src, dst int, lnk *tcpLink) (net.Conn, error) {
 	conn, err := net.Dial("tcp", m.addrs[dst])
 	if err != nil {
 		return nil, err
@@ -286,7 +373,7 @@ func (m *tcpMesh) connect(src, dst int) (net.Conn, error) {
 	if !m.spec.SameNode(src, dst) {
 		c = &sniffConn{Conn: c, sniffer: m.sniffer}
 	}
-	return fault.WrapSendProvider(m.injProv, src, dst, c), nil
+	return fault.WrapSendProvider(lnk.injProv, src, dst, c), nil
 }
 
 // teardown closes the listeners and links, ending the mesh. Idempotent;
@@ -308,168 +395,132 @@ func (m *tcpMesh) teardown() {
 	})
 }
 
-// close tears the mesh down and waits for every reader goroutine.
-func (m *tcpMesh) close() {
+// fail marks the mesh unrecoverable: it records the ErrMeshDown-wrapped
+// cause, tears the transport down, and aborts every in-flight operation
+// with a mesh-level RankError. Operation-level failures never come here;
+// only organic transport death (retry exhaustion on non-injected errors,
+// listener loss) and sequence-gate desync do.
+func (m *tcpMesh) fail(cause error) {
+	m.errMu.Lock()
+	if m.err == nil {
+		m.err = fmt.Errorf("%w: %v", ErrMeshDown, cause)
+	}
+	err := m.err
+	m.errMu.Unlock()
 	m.teardown()
-	m.readersWG.Wait()
-}
-
-// serveConn handles one accepted connection: it learns the dialing rank
-// from the hello frame, then feeds sequence-deduplicated frames into the
-// current operation's inboxes until the connection dies (teardown,
-// abort, or a transient fault — the sender reconnects and a fresh
-// accepted conn takes over). Frames whose operation epoch is not the
-// current one — stragglers resent from an earlier, possibly aborted,
-// collective of the session — are dropped after passing the sequence
-// gate, so they can neither corrupt a later run nor be replayed.
-func (m *tcpMesh) serveConn(dst int, conn net.Conn) {
-	defer m.readersWG.Done()
-	defer conn.Close()
-	src, err := wire.ReadHello(conn)
-	if err != nil || src < 0 || src >= m.spec.P || src == dst {
-		return
-	}
-	rc := fault.WrapRecvProvider(m.injProv, src, dst, conn)
-	gate := m.gates[dst][src]
-	for {
-		s, epoch, seq, msg, err := wire.ReadFrame(rc)
-		if err != nil || s != src {
-			return
-		}
-		if !gate.admit(seq) {
-			continue // duplicate of a frame resent over a newer conn
-		}
-		eng := m.op.Load()
-		if eng == nil || eng.epoch != epoch {
-			continue // straggler from an earlier operation
-		}
-		select {
-		case eng.boxes[dst] <- envelope{src: src, msg: msg}:
-		case <-eng.aborted:
-			// The operation is unwinding; drop the frame and keep reading
-			// (the mesh teardown will close this conn shortly).
-		}
-	}
-}
-
-// tcpEngine is the per-operation execution state layered over a
-// persistent tcpMesh: fresh inboxes, pending buffers, shared memory,
-// barriers, audit and fault verdicts for one collective, stamped with
-// the operation epoch carried by every frame.
-type tcpEngine struct {
-	spec      Spec
-	slr       *seal.Sealer
-	mesh      *tcpMesh
-	epoch     uint32
-	boxes     []chan envelope
-	pend      [][][]block.Message
-	shm       []*realShm
-	bars      []*realBarrier
-	audit     *SecurityAudit
-	recvTO    time.Duration
-	wt        wallTrace // wall-clock tracing; inert unless a tracer is set
-	fails     failState
-	aborted   chan struct{}
-	abortOnce sync.Once
-}
-
-// newOp builds the engine for the next collective and installs it (and
-// the operation's fault injector) as the mesh's current operation.
-func (m *tcpMesh) newOp(epoch uint32, slr *seal.Sealer, recvTO time.Duration, tracer Tracer, inj *fault.Injector) *tcpEngine {
-	e := &tcpEngine{
-		spec:    m.spec,
-		slr:     slr,
-		mesh:    m,
-		epoch:   epoch,
-		boxes:   make([]chan envelope, m.spec.P),
-		pend:    make([][][]block.Message, m.spec.P),
-		shm:     make([]*realShm, m.spec.N),
-		bars:    make([]*realBarrier, m.spec.N),
-		audit:   &SecurityAudit{},
-		recvTO:  recvTO,
-		wt:      wallTrace{tracer: tracer},
-		aborted: make(chan struct{}),
-	}
-	for r := 0; r < m.spec.P; r++ {
-		e.boxes[r] = make(chan envelope, 2*m.spec.P+16)
-		e.pend[r] = make([][]block.Message, m.spec.P)
-	}
-	for n := 0; n < m.spec.N; n++ {
-		e.shm[n] = &realShm{m: make(map[string]block.Message)}
-		e.bars[n] = newRealBarrier(m.spec.Ell())
-	}
-	m.inj.Store(inj)
-	m.op.Store(e)
-	return e
-}
-
-// abort unwinds the operation and — because a half-finished collective
-// leaves the transport in an unrecoverable state — tears down the mesh,
-// breaking the owning session.
-func (e *tcpEngine) abort() {
-	e.abortOnce.Do(func() {
-		close(e.aborted)
-		for _, b := range e.bars {
-			b.abort()
-		}
-		e.mesh.teardown()
+	m.reg.each(func(e *tcpEngine) {
+		e.failAsync(&RankError{Rank: -1, Peer: -1, Op: "mesh", Err: err})
 	})
 }
 
-func (e *tcpEngine) isAborted() bool {
-	select {
-	case <-e.aborted:
-		return true
-	default:
-		return false
-	}
+// brokenErr returns the ErrMeshDown-wrapped cause once the mesh has
+// failed, nil while it is healthy.
+func (m *tcpMesh) brokenErr() error {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	return m.err
 }
 
-// fail records the run's first root-cause error, unblocks every other
-// rank, and unwinds this one.
-func (e *tcpEngine) fail(re *RankError) {
-	e.fails.record(re)
-	e.abort()
-	panic(re)
+// abortLive aborts every registered operation with the given cause
+// (session close path).
+func (m *tcpMesh) abortLive(cause error) {
+	m.reg.each(func(e *tcpEngine) {
+		e.failAsync(&RankError{Rank: -1, Peer: -1, Op: "closed", Err: cause})
+	})
 }
 
-type tcpSendReq struct{}
-
-func (tcpSendReq) isRequest() {}
-
-func (e *tcpEngine) isend(p *Proc, dst int, msg block.Message) Request {
-	e.audit.record(e.spec, p.rank, dst, msg)
-	lnk := e.mesh.links[p.rank][dst]
-	seq := lnk.nextSeq()
-	var start float64
-	if e.wt.active() {
-		start = e.wt.now()
-	}
-	if err := e.sendFrame(p.rank, dst, lnk, seq, msg); err != nil {
-		if e.isAborted() {
-			// The conns were torn down by another rank's failure: this
-			// send error is a symptom, not the root cause — report the
-			// abort sentinel so the primary error surfaces instead of a
-			// "use of closed network connection" cascade.
-			panic(errRunAborted)
+// gateDesync detects the one wire-corruption mode the mesh cannot
+// recover from: a corrupted sequence number that inflated a receiver's
+// gate past anything the sender has issued. Every later frame of that
+// pair — in any operation — would be dropped as a duplicate, so the
+// mesh must be declared down. Gate-then-link read order makes the check
+// race-free against concurrent sends (link counters only grow, so a
+// healthy pair can never show gate > issued).
+func (m *tcpMesh) gateDesync() error {
+	for dst := range m.gates {
+		for src := range m.gates[dst] {
+			if src == dst {
+				continue
+			}
+			ahead := m.gates[dst][src].horizon()
+			if issued := m.links[src][dst].issued(); ahead > issued {
+				return fmt.Errorf("seq gate %d->%d desynced by wire corruption: gate at %d, sender issued %d",
+					src, dst, ahead, issued)
+			}
 		}
-		e.fail(&RankError{Rank: p.rank, Peer: dst, Op: "send", Err: err})
 	}
-	if e.wt.active() {
-		e.wt.emit(p.rank, TraceSend, start, msg.WireLen(), dst)
-	}
-	return tcpSendReq{}
+	return nil
 }
 
-// sendFrame writes one sequence-numbered, epoch-stamped frame,
+// close tears the mesh down and waits for every reader and send
+// scheduler goroutine.
+func (m *tcpMesh) close() {
+	m.teardown()
+	for _, q := range m.sendQ {
+		if q != nil {
+			q.Close()
+		}
+	}
+	m.readersWG.Wait()
+	m.sendersWG.Wait()
+}
+
+// sendLoop is rank src's send scheduler: the single writer for all of
+// src's links. It drains the rank's fair queue — round-robin across the
+// streams of concurrent operations, FIFO within each — assigns the
+// link's next sequence number, arms the operation's fault injector on
+// the link, and writes the frame with reconnect-and-resend recovery.
+// Injected faults that exhaust the retries fail only the owning
+// operation; organic transport death fails the mesh.
+func (m *tcpMesh) sendLoop(src int) {
+	defer m.sendersWG.Done()
+	for {
+		job, ok := m.sendQ[src].Pop()
+		if !ok {
+			return
+		}
+		e := job.op
+		if e.isAborted() {
+			continue // the op is unwinding: its queued frames are moot
+		}
+		lnk := m.links[src][job.dst]
+		lnk.inj.Store(e.inj)
+		seq := lnk.nextSeq()
+		var start float64
+		if e.wt.active() {
+			start = e.wt.now()
+		}
+		err := m.sendFrame(e, src, job.dst, lnk, seq, job.msg)
+		if err != nil {
+			if e.isAborted() {
+				continue // gave up because the op unwound mid-retry
+			}
+			var fe *fault.Error
+			if errors.As(err, &fe) {
+				// The op's own fault plan exhausted the retries: fail the
+				// op, leave the mesh (and its other operations) alone.
+				e.failAsync(&RankError{Rank: src, Peer: job.dst, Op: "send", Err: err})
+				continue
+			}
+			m.fail(fmt.Errorf("rank %d send to %d: %w", src, job.dst, err))
+			continue
+		}
+		if e.wt.active() {
+			e.wt.emit(src, TraceSend, start, job.msg.WireLen(), job.dst)
+		}
+	}
+}
+
+// sendFrame writes one sequence-numbered, op-id-stamped frame,
 // recovering from transient failures (injected drops, partial writes,
 // connection resets) by reconnecting — fresh dial plus hello
 // re-handshake — under exponential backoff. Resending the whole frame on
 // a fresh connection is safe: the receiver's sequence gate drops
 // duplicates, a partial frame on the abandoned connection never parses,
-// and AES-GCM binds every ciphertext to its block header, so replays and
-// splices fail closed rather than deliver wrong bytes.
-func (e *tcpEngine) sendFrame(src, dst int, lnk *tcpLink, seq uint64, msg block.Message) error {
+// and AES-GCM binds every ciphertext to its block header and op-id, so
+// replays, splices and cross-operation deliveries fail closed rather
+// than deliver wrong bytes.
+func (m *tcpMesh) sendFrame(e *tcpEngine, src, dst int, lnk *tcpLink, seq uint64, msg block.Message) error {
 	var lastErr error
 	for attempt := 0; attempt <= sendRetries; attempt++ {
 		if attempt > 0 {
@@ -480,7 +531,7 @@ func (e *tcpEngine) sendFrame(src, dst int, lnk *tcpLink, seq uint64, msg block.
 				backoff.Stop()
 				return lastErr
 			}
-			conn, err := e.mesh.connect(src, dst)
+			conn, err := m.connect(src, dst, lnk)
 			if err != nil {
 				lastErr = err
 				continue
@@ -497,7 +548,7 @@ func (e *tcpEngine) sendFrame(src, dst int, lnk *tcpLink, seq uint64, msg block.
 				continue
 			}
 		}
-		if err := wire.WriteFrame(conn, src, e.epoch, seq, msg); err != nil {
+		if err := wire.WriteFrame(conn, src, e.id, seq, msg); err != nil {
 			lastErr = err
 			conn.Close()
 			continue
@@ -505,6 +556,236 @@ func (e *tcpEngine) sendFrame(src, dst int, lnk *tcpLink, seq uint64, msg block.
 		return nil
 	}
 	return fmt.Errorf("send gave up after %d attempts: %w", sendRetries+1, lastErr)
+}
+
+// readTracker watches a reader's byte progress so the mesh can tell a
+// connection that is idle between frames (healthy: it may wait forever)
+// from one starved in the middle of a frame (corrupt: a flipped length
+// or count field made the decoder demand bytes the sender never wrote,
+// and every later frame on the stream is swallowed as phantom payload).
+type readTracker struct {
+	net.Conn
+	src, dst int
+	mu       sync.Mutex
+	midFrame bool
+	last     time.Time
+}
+
+func (t *readTracker) Read(p []byte) (int, error) {
+	n, err := t.Conn.Read(p)
+	if n > 0 {
+		t.mu.Lock()
+		t.midFrame = true
+		t.last = time.Now()
+		t.mu.Unlock()
+	}
+	return n, err
+}
+
+// frameDone marks a clean frame boundary: the reader is idle again.
+func (t *readTracker) frameDone() {
+	t.mu.Lock()
+	t.midFrame = false
+	t.mu.Unlock()
+}
+
+// starved reports how long the reader has been stuck mid-frame without
+// receiving a byte.
+func (t *readTracker) starved() (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.midFrame {
+		return 0, false
+	}
+	return time.Since(t.last), true
+}
+
+// readerStallAfter is how long a reader must sit mid-frame with zero
+// byte progress before the mesh calls it corrupted rather than slow. On
+// loopback a frame's bytes arrive microseconds apart; a full second of
+// mid-frame silence only happens when a corrupted length field left the
+// decoder waiting for bytes that were never sent.
+const readerStallAfter = time.Second
+
+// connDied reports whether a read error is ordinary connection
+// lifecycle — the stream ended or was closed/reset under the reader —
+// as opposed to a parse failure on a live stream. Lifecycle errors are
+// expected: the sender abandons a connection after a partial write and
+// reconnects, so its reader sees a clean frame prefix followed by EOF,
+// never garbage. A parse error on bytes that did arrive means the
+// stream itself was corrupted in flight.
+func connDied(err error) bool {
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
+}
+
+// serveConn handles one accepted connection: it learns the dialing rank
+// from the hello frame, then demuxes sequence-deduplicated frames to the
+// in-flight operation each frame's op-id names, until the connection
+// dies (teardown, or a transient fault — the sender reconnects and a
+// fresh accepted conn takes over). Frames whose op-id is not registered
+// — stragglers resent from a completed or aborted collective, or frames
+// with a corrupted op-id — are dropped after passing the sequence gate:
+// they can be lost, never misrouted. Receive-side fault delays are
+// applied per delivered frame out of the owning operation's injector,
+// so one op's read stalls never bill another op's plan.
+//
+// A frame that fails to parse (or arrives bearing the wrong source
+// rank) is wire-level corruption of an established stream: past it the
+// reader cannot re-find a frame boundary, and a sender writing into the
+// abandoned socket can lose one frame without ever seeing an error — a
+// silently deaf pair no later operation could diagnose. That is exactly
+// the unrecoverable case, so it fails the mesh rather than just this
+// reader.
+func (m *tcpMesh) serveConn(dst int, conn net.Conn) {
+	defer m.readersWG.Done()
+	defer conn.Close()
+	src, err := wire.ReadHello(conn)
+	if err != nil || src < 0 || src >= m.spec.P || src == dst {
+		return
+	}
+	tc := &readTracker{Conn: conn, src: src, dst: dst}
+	tc.frameDone()
+	m.track(tc)
+	defer m.untrack(tc)
+	gate := m.gates[dst][src]
+	for {
+		s, opID, seq, msg, err := wire.ReadFrame(tc)
+		tc.frameDone()
+		if err != nil {
+			if !connDied(err) {
+				m.fail(fmt.Errorf("frame stream %d->%d corrupted: %v", src, dst, err))
+			}
+			return
+		}
+		if s != src {
+			m.fail(fmt.Errorf("frame on the %d->%d stream claims src %d", src, dst, s))
+			return
+		}
+		if !gate.admit(seq) {
+			continue // duplicate of a frame resent over a newer conn
+		}
+		e, ok := m.reg.get(opID)
+		if !ok {
+			continue // straggler from a retired operation: dropped
+		}
+		if d := e.inj.ReadDelay(src, dst); d > 0 {
+			e.inj.Sleep(d)
+		}
+		e.inboxes[dst].push(envelope{src: src, msg: msg})
+	}
+}
+
+// tcpEngine is the per-operation execution state layered over a
+// persistent tcpMesh: fresh unbounded inboxes, pending buffers, shared
+// memory, barriers, audit, fault injector and failure state for one
+// collective, keyed by the operation id carried in every frame. Many
+// tcpEngines run concurrently over one mesh; aborting one leaves the
+// mesh and its sibling operations untouched.
+type tcpEngine struct {
+	spec      Spec
+	slr       *seal.Sealer
+	mesh      *tcpMesh
+	id        uint32
+	inj       *fault.Injector
+	inboxes   []*opInbox
+	pend      [][][]block.Message
+	shm       []*realShm
+	bars      []*realBarrier
+	audit     *SecurityAudit
+	recvTO    time.Duration
+	wt        wallTrace // wall-clock tracing; inert unless a tracer is set
+	fails     failState
+	aborted   chan struct{}
+	abortOnce sync.Once
+}
+
+// newOp builds the engine for one collective and registers it as a live
+// operation, making its op-id routable by the demux.
+func (m *tcpMesh) newOp(id uint32, slr *seal.Sealer, recvTO time.Duration, tracer Tracer, inj *fault.Injector) *tcpEngine {
+	e := &tcpEngine{
+		spec:    m.spec,
+		slr:     slr,
+		mesh:    m,
+		id:      id,
+		inj:     inj,
+		inboxes: make([]*opInbox, m.spec.P),
+		pend:    make([][][]block.Message, m.spec.P),
+		shm:     make([]*realShm, m.spec.N),
+		bars:    make([]*realBarrier, m.spec.N),
+		audit:   &SecurityAudit{},
+		recvTO:  recvTO,
+		wt:      wallTrace{tracer: tracer},
+		aborted: make(chan struct{}),
+	}
+	for r := 0; r < m.spec.P; r++ {
+		e.inboxes[r] = newOpInbox()
+		e.pend[r] = make([][]block.Message, m.spec.P)
+	}
+	for n := 0; n < m.spec.N; n++ {
+		e.shm[n] = &realShm{m: make(map[string]block.Message)}
+		e.bars[n] = newRealBarrier(m.spec.Ell())
+	}
+	m.reg.register(id, e)
+	return e
+}
+
+// abort unwinds this operation only: ranks blocked in receives,
+// barriers and send backoffs observe it and drain. The mesh — and any
+// sibling operation in flight on it — is untouched; frames of this op
+// still in the queues or on the wire are dropped by the send scheduler
+// and the demux.
+func (e *tcpEngine) abort() {
+	e.abortOnce.Do(func() {
+		close(e.aborted)
+		for _, b := range e.bars {
+			b.abort()
+		}
+	})
+}
+
+func (e *tcpEngine) isAborted() bool {
+	select {
+	case <-e.aborted:
+		return true
+	default:
+		return false
+	}
+}
+
+// fail records the run's first root-cause error, unblocks every other
+// rank of this operation, and unwinds this one. Called on rank
+// goroutines only (it panics); the send scheduler uses failAsync.
+func (e *tcpEngine) fail(re *RankError) {
+	e.fails.record(re)
+	e.abort()
+	panic(re)
+}
+
+// failAsync is fail for non-rank goroutines (send scheduler, mesh):
+// record the root cause and abort, without a panic.
+func (e *tcpEngine) failAsync(re *RankError) {
+	e.fails.record(re)
+	e.abort()
+}
+
+type tcpSendReq struct{}
+
+func (tcpSendReq) isRequest() {}
+
+// isend enqueues the frame on the rank's send scheduler and returns
+// immediately — sends of concurrent operations interleave fairly on the
+// shared links, and a blocked link never stalls the rank goroutine.
+func (e *tcpEngine) isend(p *Proc, dst int, msg block.Message) Request {
+	e.audit.record(e.spec, p.rank, dst, msg)
+	if e.isAborted() {
+		panic(errRunAborted)
+	}
+	e.mesh.sendQ[p.rank].Push(e.id, tcpJob{op: e, dst: dst, msg: msg})
+	return tcpSendReq{}
 }
 
 func (e *tcpEngine) irecv(p *Proc, src int) Request {
@@ -537,20 +818,24 @@ func (e *tcpEngine) wait(p *Proc, reqs []Request) []block.Message {
 // deadlocking.
 func (e *tcpEngine) recvFrom(rank, src int) block.Message {
 	pend := e.pend[rank]
-	if len(pend[src]) > 0 {
-		msg := pend[src][0]
-		pend[src] = pend[src][1:]
-		return msg
-	}
+	box := e.inboxes[rank]
 	deadline := time.NewTimer(e.recvTO)
 	defer deadline.Stop()
 	for {
-		select {
-		case env := <-e.boxes[rank]:
+		if len(pend[src]) > 0 {
+			msg := pend[src][0]
+			pend[src] = pend[src][1:]
+			return msg
+		}
+		if env, ok := box.pop(); ok {
 			if env.src == src {
 				return env.msg
 			}
 			pend[env.src] = append(pend[env.src], env.msg)
+			continue
+		}
+		select {
+		case <-box.sig:
 		case <-e.aborted:
 			panic(errRunAborted)
 		case <-deadline.C:
@@ -590,6 +875,13 @@ func (e *tcpEngine) nodeBarrier(p *Proc) {
 }
 
 func (e *tcpEngine) sealer() *seal.Sealer { return e.slr }
+
+// aad binds this operation's id into the AEAD associated data, so a
+// frame whose op-id was corrupted on the wire into another live
+// operation's id fails authentication there instead of being accepted —
+// misrouting fails closed even though all operations share the session
+// key.
+func (e *tcpEngine) aad(h []byte) []byte { return appendOpID(h, e.id) }
 
 // TCPResult extends the real-engine result with the wire capture.
 type TCPResult struct {

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrMeshDown marks transport-level failures that leave a session's
+// persistent mesh unrecoverable: send retry exhaustion on organic
+// (non-injected) errors, listener death, or a sequence-gate desync
+// caused by wire-level corruption. Operation-level failures — context
+// cancellation, fault-plan verdicts, authentication rejections,
+// algorithm panics, receive timeouts — do NOT wrap ErrMeshDown and do
+// not break the session; only errors matching errors.Is(err, ErrMeshDown)
+// poison it.
+var ErrMeshDown = errors.New("cluster: transport mesh is down")
+
+// opInbox is one rank's receive queue for one in-flight operation. The
+// demux side (TCP connection readers, chan-engine senders) pushes and
+// must never block — the queue is unbounded, so a slow consumer in one
+// operation cannot head-of-line-block frames belonging to another
+// operation on the same connection. The single consumer (the rank's
+// goroutine for this op) drains it and parks on the signal channel.
+type opInbox struct {
+	mu  sync.Mutex
+	q   []envelope
+	sig chan struct{} // cap 1: coalesced "new item" wakeup
+}
+
+func newOpInbox() *opInbox {
+	return &opInbox{sig: make(chan struct{}, 1)}
+}
+
+func (b *opInbox) push(env envelope) {
+	b.mu.Lock()
+	b.q = append(b.q, env)
+	b.mu.Unlock()
+	select {
+	case b.sig <- struct{}{}:
+	default:
+	}
+}
+
+// pop removes the oldest queued envelope, reporting false when empty.
+func (b *opInbox) pop() (envelope, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.q) == 0 {
+		return envelope{}, false
+	}
+	env := b.q[0]
+	b.q = b.q[1:]
+	return env, true
+}
+
+// opRegistry maps live operation ids to their per-op engines: the demux
+// routes each arriving frame to the engine registered under the frame's
+// op-id and drops frames whose operation is no longer (or not yet)
+// live — stragglers from completed or aborted collectives.
+type opRegistry[E any] struct {
+	mu  sync.RWMutex
+	ops map[uint32]E
+}
+
+func newOpRegistry[E any]() *opRegistry[E] {
+	return &opRegistry[E]{ops: make(map[uint32]E)}
+}
+
+func (r *opRegistry[E]) register(id uint32, e E) {
+	r.mu.Lock()
+	r.ops[id] = e
+	r.mu.Unlock()
+}
+
+func (r *opRegistry[E]) deregister(id uint32) {
+	r.mu.Lock()
+	delete(r.ops, id)
+	r.mu.Unlock()
+}
+
+func (r *opRegistry[E]) get(id uint32) (E, bool) {
+	r.mu.RLock()
+	e, ok := r.ops[id]
+	r.mu.RUnlock()
+	return e, ok
+}
+
+// each snapshots the live operations and calls fn for every one —
+// outside the lock, so fn may abort ops (which deregister themselves
+// later) without deadlocking.
+func (r *opRegistry[E]) each(fn func(E)) {
+	r.mu.RLock()
+	snap := make([]E, 0, len(r.ops))
+	for _, e := range r.ops {
+		snap = append(snap, e)
+	}
+	r.mu.RUnlock()
+	for _, e := range snap {
+		fn(e)
+	}
+}
+
+func (r *opRegistry[E]) live() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.ops)
+}
+
+// appendOpID binds an operation id into AEAD associated data: all
+// operations of a session share one key, so without this a frame whose
+// op-id byte was corrupted on the wire could be demuxed to another live
+// operation and still authenticate there. With the id under the AEAD,
+// cross-operation delivery fails closed at Decrypt.
+func appendOpID(h []byte, id uint32) []byte {
+	out := make([]byte, 0, len(h)+4)
+	out = append(out, h...)
+	return append(out, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+}

@@ -29,6 +29,13 @@ type engine interface {
 	nodeBarrier(p *Proc)
 
 	sealer() *seal.Sealer // nil in sim mode
+
+	// aad derives the AEAD associated data from the encoded block
+	// header. The real and TCP engines append the operation id so that
+	// ciphertexts of concurrent operations sharing one session key
+	// cannot authenticate across operations (a misrouted frame fails
+	// closed); the sim engine returns the header unchanged.
+	aad(h []byte) []byte
 }
 
 // Proc is the per-rank handle the algorithms program against — the moral
@@ -231,7 +238,7 @@ func (p *Proc) Encrypt(chunks ...block.Chunk) block.Chunk {
 	done := p.eng.span(p, TraceEncrypt, plainLen)
 	out := block.Chunk{Enc: true, Blocks: blocks}
 	if s := p.eng.sealer(); s != nil {
-		blob, segs, err := s.SealSegmented(payloadSlices(chunks), block.EncodeHeader(blocks))
+		blob, segs, err := s.SealSegmented(payloadSlices(chunks), p.eng.aad(block.EncodeHeader(blocks)))
 		if err != nil {
 			panic(&RankError{Rank: p.rank, Peer: -1, Op: "seal", Err: err})
 		}
@@ -259,7 +266,7 @@ func (p *Proc) Decrypt(c block.Chunk) block.Chunk {
 		if c.Payload == nil {
 			panic("cluster: real-mode Decrypt given a chunk without payload")
 		}
-		pt, segs, err := s.OpenSegmented(c.Payload, block.EncodeHeader(c.Blocks))
+		pt, segs, err := s.OpenSegmented(c.Payload, p.eng.aad(block.EncodeHeader(c.Blocks)))
 		if err != nil {
 			// Structured: the run reports this rank and the failing open
 			// (tampered or spliced ciphertext) as the root cause.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"encag/internal/block"
@@ -52,7 +53,8 @@ type SessionConfig struct {
 	Tracer Tracer
 	// Plan is the default fault-injection plan applied to every
 	// collective; a fresh Injector is armed per operation so frame
-	// counters restart each run (epoch isolation).
+	// counters restart each run and plans of concurrent operations stay
+	// fully isolated from one another.
 	Plan *fault.Plan
 	// Profile is the machine model used by EngineSim; ignored otherwise.
 	Profile cost.Profile
@@ -83,83 +85,54 @@ type Op struct {
 var (
 	// ErrSessionClosed is returned by operations on a Close()d session.
 	ErrSessionClosed = errors.New("cluster: session is closed")
-	// ErrSessionBroken is returned once a collective on the session has
-	// failed (including cancellation): in-flight transport and crypto
-	// state is unrecoverable after an abort, so — like an MPI
-	// communicator after a fatal error — the session refuses further
-	// operations. Open a fresh session to continue.
+	// ErrSessionBroken is returned once the session's transport mesh has
+	// become unrecoverable (errors wrapping ErrMeshDown: organic send
+	// retry exhaustion, listener death, or a sequence-gate desync caused
+	// by wire-level corruption). Like an MPI communicator after a fatal
+	// transport error, the session then refuses further operations; open
+	// a fresh session to continue. Operation-level failures — context
+	// cancellation, fault-plan outcomes, authentication rejections,
+	// algorithm panics, receive timeouts — fail only their own
+	// collective and leave the session usable.
 	ErrSessionBroken = errors.New("cluster: session broken by an earlier failure")
 )
 
-// rankPool is the reusable rank-goroutine pool of a session: p
-// long-lived workers, one per rank, fed one job per collective.
-// Operations are serialized by the session mutex, so each per-rank job
-// channel never holds more than one pending job and submit never blocks.
-type rankPool struct {
-	jobs []chan func()
-	quit chan struct{}
-	wg   sync.WaitGroup
-}
-
-func newRankPool(p int) *rankPool {
-	pl := &rankPool{jobs: make([]chan func(), p), quit: make(chan struct{})}
-	for r := range pl.jobs {
-		ch := make(chan func(), 1)
-		pl.jobs[r] = ch
-		pl.wg.Add(1)
-		go func() {
-			defer pl.wg.Done()
-			for {
-				select {
-				case job := <-ch:
-					job()
-				case <-pl.quit:
-					return
-				}
-			}
-		}()
-	}
-	return pl
-}
-
-// submit hands rank r its job for the current collective. Jobs must not
-// panic: the caller wraps them with recoverRank so a failing rank never
-// kills its pool worker.
-func (pl *rankPool) submit(r int, job func()) { pl.jobs[r] <- job }
-
-func (pl *rankPool) close() {
-	close(pl.quit)
-	pl.wg.Wait()
-}
-
 // Session is a persistent collective runtime: open once, run many
 // collectives over long-lived engine state, close once. For EngineTCP
-// the listeners, dialed links, hello handshakes and sequence gates
-// survive across operations; every frame carries the operation epoch so
-// stragglers from an earlier (possibly aborted) collective are
-// discarded. For EngineChan the rank goroutine pool and sealer persist.
-// EngineSim sessions hold the machine profile and run each collective in
-// virtual time.
+// the listeners, dialed links, hello handshakes, sequence gates and
+// per-rank send schedulers survive across operations; every frame
+// carries its operation's id, so the demux routes concurrent
+// collectives' frames to the right operation and discards stragglers
+// from completed or aborted ones. For EngineChan the per-rank send
+// schedulers and sealer persist. EngineSim sessions hold the machine
+// profile and run each collective in virtual time.
 //
-// A Session is safe for concurrent use; collectives are serialized. Any
-// failed or cancelled collective breaks the session (ErrSessionBroken).
+// A Session is safe for concurrent use, and — new in this revision —
+// collectives genuinely overlap: any number of Collective calls may be
+// in flight at once over the same mesh (callers typically bound the
+// number through the public nonblocking API's in-flight window). A
+// failed or cancelled collective fails only itself; the session breaks
+// (ErrSessionBroken) only when the transport mesh itself is
+// unrecoverable.
 type Session struct {
 	spec   Spec
 	cfg    SessionConfig
 	recvTO time.Duration
 
-	mu     sync.Mutex
-	closed bool
-	broken error
-	epoch  uint32
-	slr    *seal.Sealer
-	pool   *rankPool
-	mesh   *tcpMesh
+	opSeq atomic.Uint32 // op-id allocator; ids start at 1
+
+	mu       sync.Mutex
+	closed   bool
+	broken   error
+	inflight int
+	slr      *seal.Sealer
+	cmesh    *chanMesh
+	mesh     *tcpMesh
 }
 
 // OpenSession validates the spec, stands up the persistent engine state
-// (sealer and rank pool for chan/tcp; listeners plus the fully dialed
-// O(p^2) connection mesh for tcp) and returns the ready session.
+// (sealer and send schedulers for chan/tcp; listeners plus the fully
+// dialed O(p^2) connection mesh for tcp) and returns the ready session.
 func OpenSession(spec Spec, cfg SessionConfig) (*Session, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -182,8 +155,9 @@ func OpenSession(spec Spec, cfg SessionConfig) (*Session, error) {
 			return nil, err
 		}
 		s.mesh = mesh
+	} else {
+		s.cmesh = newChanMesh(spec)
 	}
-	s.pool = newRankPool(spec.P)
 	return s, nil
 }
 
@@ -230,10 +204,21 @@ func (s *Session) Err() error {
 	return s.broken
 }
 
+// InFlight returns how many collectives are currently running on the
+// session.
+func (s *Session) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
 // Rekey replaces the session's AES-GCM key with a fresh random one
 // between collectives — the session-runtime composition point for
 // internal/seal's key-rotation support. Subsequent operations seal under
-// the new key; the nonce audit restarts with it.
+// the new key; the nonce audit restarts with it. Rekey refuses to run
+// while collectives are in flight: half of an operation's ranks sealing
+// under the old key and half under the new would make every frame fail
+// authentication.
 func (s *Session) Rekey() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -244,6 +229,8 @@ func (s *Session) Rekey() error {
 		return fmt.Errorf("%w: %v", ErrSessionBroken, s.broken)
 	case s.cfg.Engine == EngineSim:
 		return nil // the sim models crypto cost; there is no key
+	case s.inflight > 0:
+		return fmt.Errorf("cluster: cannot rekey with %d collectives in flight", s.inflight)
 	}
 	slr, err := newSessionSealer(s.spec)
 	if err != nil {
@@ -253,8 +240,10 @@ func (s *Session) Rekey() error {
 	return nil
 }
 
-// Close tears down the persistent engine state: the TCP mesh (listeners,
-// links, reader goroutines) and the rank pool. Idempotent.
+// Close tears down the persistent engine state: in-flight operations
+// are aborted (their callers receive a structured error wrapping
+// ErrSessionClosed), then the TCP mesh (listeners, links, readers) and
+// the send schedulers are drained. Idempotent.
 func (s *Session) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -263,10 +252,12 @@ func (s *Session) Close() error {
 	}
 	s.closed = true
 	if s.mesh != nil {
+		s.mesh.abortLive(ErrSessionClosed)
 		s.mesh.close()
 	}
-	if s.pool != nil {
-		s.pool.close()
+	if s.cmesh != nil {
+		s.cmesh.abortLive(ErrSessionClosed)
+		s.cmesh.close()
 	}
 	return nil
 }
@@ -327,12 +318,9 @@ func (op Op) resolve(spec Spec) (sizes []int64, payloads [][]byte, err error) {
 	return sizes, payloads, nil
 }
 
-// Collective runs one all-gather-shaped operation on the session's
-// persistent chan or tcp engine. The context cancels mid-collective:
-// cancellation (and deadline expiry) records a RankError with Op
-// "cancel", aborts the run through the normal abort machinery, drains
-// every rank, and breaks the session. Use Sim for EngineSim sessions.
-func (s *Session) Collective(ctx context.Context, op Op) (*RealResult, error) {
+// admit runs the session-state checks that gate a new collective and
+// accounts it as in flight. The caller must release with release().
+func (s *Session) admit(ctx context.Context) (*seal.Sealer, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {
@@ -343,17 +331,84 @@ func (s *Session) Collective(ctx context.Context, op Op) (*RealResult, error) {
 	case s.cfg.Engine == EngineSim:
 		return nil, errors.New("cluster: Collective needs a chan or tcp session; use Sim")
 	}
+	if s.mesh != nil {
+		if merr := s.mesh.brokenErr(); merr != nil {
+			// The mesh died under an operation whose first-recorded root
+			// cause predated the transport failure; surface it now.
+			if s.broken == nil {
+				s.broken = merr
+			}
+			return nil, fmt.Errorf("%w: %v", ErrSessionBroken, merr)
+		}
+	}
+	if ctx.Err() != nil {
+		// Fail fast without touching the engine or the session state.
+		return nil, &RankError{Rank: -1, Peer: -1, Op: "cancel", Err: context.Cause(ctx)}
+	}
+	s.inflight++
+	return s.slr, nil
+}
+
+func (s *Session) release() {
+	s.mu.Lock()
+	s.inflight--
+	s.mu.Unlock()
+}
+
+// noteFailure decides whether a failed collective poisons the session.
+// Only transport-level unrecoverability does: an error wrapping
+// ErrMeshDown, a sequence-gate desync left behind by wire-level
+// corruption (detected by comparing every receive gate against its
+// sender's issued counter), or a frame-stream reader starved mid-frame
+// by a corrupted length field. Everything else — cancellation,
+// fault-plan outcomes, GCM rejections, panics, recv timeouts — is
+// scoped to the operation, and the mesh keeps serving its siblings.
+func (s *Session) noteFailure(err error) {
+	poison := errors.Is(err, ErrMeshDown)
+	if !poison && s.mesh != nil {
+		derr := s.mesh.gateDesync()
+		if derr == nil {
+			derr = s.mesh.readerStalled()
+		}
+		if derr != nil {
+			poison = true
+			s.mesh.fail(derr)
+			err = fmt.Errorf("%w (and %v)", err, derr)
+		}
+	}
+	if !poison {
+		return
+	}
+	s.mu.Lock()
+	if s.broken == nil {
+		s.broken = err
+	}
+	s.mu.Unlock()
+}
+
+// Collective runs one all-gather-shaped operation on the session's
+// persistent chan or tcp engine. Any number of Collective calls may be
+// in flight concurrently: each gets a unique operation id carried in
+// its frames, its own fault injector and tracer, and per-rank goroutines
+// whose sends interleave fairly with sibling operations on the shared
+// transport. The context cancels mid-collective: cancellation (and
+// deadline expiry) records a RankError with Op "cancel", aborts this
+// operation through the normal abort machinery and drains its ranks —
+// the session and any sibling operations stay intact. Use Sim for
+// EngineSim sessions.
+func (s *Session) Collective(ctx context.Context, op Op) (*RealResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if ctx.Err() != nil {
-		return nil, &RankError{Rank: -1, Peer: -1, Op: "cancel", Err: context.Cause(ctx)}
+	slr, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
 	}
+	defer s.release()
 	sizes, payloads, err := op.resolve(s.spec)
 	if err != nil {
 		return nil, err
 	}
-	s.epoch++
 	tracer := op.Tracer
 	if tracer == nil {
 		tracer = s.cfg.Tracer
@@ -362,17 +417,20 @@ func (s *Session) Collective(ctx context.Context, op Op) (*RealResult, error) {
 	if plan == nil {
 		plan = s.cfg.Plan
 	}
-	// A fresh injector per operation: plan frame counters restart each
-	// collective, and stale verdicts from an earlier run cannot leak into
-	// this one (epoch isolation for fault schedules).
+	// A unique id and a fresh injector per operation: frames demux by id,
+	// plan frame counters restart each collective, and neither verdicts
+	// nor delays can leak between concurrent (or successive) operations.
+	id := s.opSeq.Add(1)
 	inj := fault.NewInjector(plan)
 
 	var run opRun
 	if s.cfg.Engine == EngineTCP {
-		e := s.mesh.newOp(s.epoch, s.slr, s.recvTO, tracer, inj)
+		e := s.mesh.newOp(id, slr, s.recvTO, tracer, inj)
+		defer s.mesh.reg.deregister(id)
 		run = opRun{eng: e, abort: e.abort, fails: &e.fails, audit: e.audit, wt: &e.wt}
 	} else {
-		e := newRealEngine(s.spec, s.slr, s.cfg.Adversary, inj, s.recvTO, tracer)
+		e := s.cmesh.newOp(id, slr, s.cfg.Adversary, inj, s.recvTO, tracer)
+		defer s.cmesh.reg.deregister(id)
 		run = opRun{eng: e, abort: e.abort, fails: &e.fails, audit: e.audit, wt: &e.wt}
 	}
 
@@ -380,7 +438,7 @@ func (s *Session) Collective(ctx context.Context, op Op) (*RealResult, error) {
 		Results: make([]block.Message, s.spec.P),
 		PerRank: make([]Metrics, s.spec.P),
 		Audit:   run.audit,
-		Sealer:  s.slr,
+		Sealer:  slr,
 	}
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -388,13 +446,13 @@ func (s *Session) Collective(ctx context.Context, op Op) (*RealResult, error) {
 	for r := 0; r < s.spec.P; r++ {
 		r := r
 		wg.Add(1)
-		s.pool.submit(r, func() {
+		go func() {
 			defer wg.Done()
 			defer func() { recoverRank(recover(), run.fails, run.abort, r) }()
 			p := &Proc{rank: r, spec: s.spec, met: &res.PerRank[r], eng: run.eng, sizes: sizes}
 			mine := block.NewPlain(r, payloads[r])
 			res.Results[r] = op.Algo(p, mine)
-		})
+		}()
 	}
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
@@ -403,7 +461,7 @@ func (s *Session) Collective(ctx context.Context, op Op) (*RealResult, error) {
 	case <-ctx.Done():
 		run.fails.record(&RankError{Rank: -1, Peer: -1, Op: "cancel", Err: context.Cause(ctx)})
 		run.abort()
-		// Every blocking point (sends, receives, barriers, backoffs)
+		// Every blocking point (receives, barriers, send backoffs)
 		// observes the abort, so the ranks unwind promptly; wait for them
 		// instead of leaking goroutines into the caller's process.
 		<-done
@@ -418,17 +476,8 @@ func (s *Session) Collective(ctx context.Context, op Op) (*RealResult, error) {
 		<-done
 	}
 	res.Elapsed = time.Since(start)
-	if s.mesh != nil {
-		// Between operations no engine is current: frames that straggle in
-		// now are dropped by the readers.
-		s.mesh.op.Store(nil)
-		s.mesh.inj.Store(nil)
-	}
 	if err := run.fails.err(); err != nil {
-		s.broken = err
-		if s.mesh != nil {
-			s.mesh.teardown() // the abort already started this; idempotent
-		}
+		s.noteFailure(err)
 		return nil, err
 	}
 	res.Critical = CriticalPath(res.PerRank)

@@ -1,0 +1,56 @@
+package sched
+
+import "sync"
+
+// Handle is the future for one started operation. It is completed
+// exactly once; Wait and Done may be called any number of times from
+// any goroutine.
+type Handle[T any] struct {
+	done chan struct{}
+
+	once sync.Once
+	val  T
+	err  error
+}
+
+func newHandle[T any]() *Handle[T] {
+	return &Handle[T]{done: make(chan struct{})}
+}
+
+func (h *Handle[T]) complete(v T, err error) {
+	h.once.Do(func() {
+		h.val, h.err = v, err
+		close(h.done)
+	})
+}
+
+// Done returns a channel that is closed when the operation has
+// completed (successfully or not). Select on it to overlap compute
+// with communication.
+func (h *Handle[T]) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the operation completes and returns its result and
+// error. Calling Wait repeatedly returns the same values.
+func (h *Handle[T]) Wait() (T, error) {
+	<-h.done
+	return h.val, h.err
+}
+
+// Err blocks until the operation completes and returns only its error.
+func (h *Handle[T]) Err() error {
+	<-h.done
+	return h.err
+}
+
+// TryWait reports whether the operation has completed, returning the
+// result and error when it has; ok is false while it is still in
+// flight.
+func (h *Handle[T]) TryWait() (v T, err error, ok bool) {
+	select {
+	case <-h.done:
+		return h.val, h.err, true
+	default:
+		var zero T
+		return zero, nil, false
+	}
+}

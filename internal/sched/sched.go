@@ -1,0 +1,163 @@
+// Package sched is the nonblocking-collective scheduling core: a
+// bounded in-flight window with backpressure, future-style operation
+// handles, and a fair multi-stream queue used by the transport engines
+// to interleave the sends of concurrent operations.
+//
+// The package is deliberately transport-agnostic — it knows nothing
+// about ranks, frames or sessions. internal/cluster composes FairQueue
+// into its per-rank send schedulers, and the public encag.Session
+// composes Scheduler + Handle into Start/Wait/WaitAll. Keeping the
+// admission window here (rather than inside the engines) means one
+// window governs chan and TCP sessions identically, and the sim engine
+// can bypass it entirely (sim operations complete synchronously and are
+// never in flight).
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// DefaultMaxInFlight is the admission window applied when a Scheduler
+// is built with a non-positive limit: at most this many operations run
+// concurrently, and starting another blocks until a slot frees.
+const DefaultMaxInFlight = 4
+
+// ErrClosed is returned by Start on a Close()d scheduler.
+var ErrClosed = errors.New("sched: scheduler is closed")
+
+// Scheduler admits operations into a bounded in-flight window and
+// tracks their handles. All methods are safe for concurrent use.
+type Scheduler[T any] struct {
+	slots chan struct{} // counting semaphore; capacity = window size
+
+	mu      sync.Mutex
+	closed  bool
+	handles []*Handle[T] // every operation ever started, in start order
+	live    int
+	idle    *sync.Cond // signalled when live drops to zero
+}
+
+// New builds a scheduler with the given in-flight window; n <= 0
+// selects DefaultMaxInFlight.
+func New[T any](n int) *Scheduler[T] {
+	if n <= 0 {
+		n = DefaultMaxInFlight
+	}
+	s := &Scheduler[T]{slots: make(chan struct{}, n)}
+	s.idle = sync.NewCond(&s.mu)
+	return s
+}
+
+// MaxInFlight returns the window size.
+func (s *Scheduler[T]) MaxInFlight() int { return cap(s.slots) }
+
+// InFlight returns how many operations currently hold a slot.
+func (s *Scheduler[T]) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
+
+// Start admits one operation: it blocks while the window is full
+// (backpressure), then runs fn on its own goroutine and returns the
+// handle immediately. The context only bounds admission — cancelling it
+// after Start returns does not cancel the running operation (pass the
+// same context into fn for that). fn's result and error complete the
+// handle.
+func (s *Scheduler[T]) Start(ctx context.Context, fn func() (T, error)) (*Handle[T], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.mu.Unlock()
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("sched: waiting for an in-flight slot: %w", context.Cause(ctx))
+	}
+	h := newHandle[T]()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.slots
+		return nil, ErrClosed
+	}
+	s.handles = append(s.handles, h)
+	s.live++
+	s.mu.Unlock()
+	go func() {
+		v, err := fn()
+		h.complete(v, err)
+		s.mu.Lock()
+		s.live--
+		if s.live == 0 {
+			s.idle.Broadcast()
+		}
+		s.mu.Unlock()
+		<-s.slots
+	}()
+	return h, nil
+}
+
+// Completed returns a handle that is already done with the given result
+// and error — the shape synchronous engines (sim) hand back so callers
+// can treat every Start uniformly.
+func Completed[T any](v T, err error) *Handle[T] {
+	h := newHandle[T]()
+	h.complete(v, err)
+	return h
+}
+
+// WaitAll blocks until every operation started so far has completed (or
+// ctx is cancelled) and returns the first error among them in start
+// order, nil when all succeeded. Individual handles keep their own
+// results; WaitAll never consumes them. Operations started while
+// WaitAll is blocked are waited on too.
+func (s *Scheduler[T]) WaitAll(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for s.live > 0 {
+			s.idle.Wait()
+		}
+		s.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Unhook the waiter goroutine: wake it so it can observe whatever
+		// state it finds and exit rather than leak.
+		s.mu.Lock()
+		s.idle.Broadcast()
+		s.mu.Unlock()
+		go func() { <-done }() // reap once live eventually drains
+		return context.Cause(ctx)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, h := range s.handles {
+		if err := h.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close refuses further Starts. Running operations are not interrupted;
+// use WaitAll (or the owner's abort machinery) to drain them.
+func (s *Scheduler[T]) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}

@@ -9,9 +9,13 @@
 //	uint32 source rank
 //	uint64 sequence number (per-connection, monotone; lets a receiver
 //	       discard duplicate frames resent after a reconnect)
-//	uint32 operation epoch (which collective of a persistent session the
-//	       frame belongs to; lets a receiver discard frames that straggle
-//	       in from an earlier, possibly aborted, operation)
+//	uint32 operation id (which collective of a persistent session the
+//	       frame belongs to; the receiver demultiplexes each frame to
+//	       the in-flight operation carrying that id and discards frames
+//	       whose operation has retired. Earlier revisions called this
+//	       field the "epoch" and used it as a monotone per-session
+//	       counter; the wire layout is unchanged, so frames from either
+//	       revision parse identically)
 //	uint32 chunk count
 //	per chunk:
 //	  uint8  flags (bit0: encrypted)
@@ -20,18 +24,30 @@
 //	  per block: uint32 origin, uint64 length
 //	  uint32 payload length, payload bytes
 //
-// The codec is defensive: it never allocates more than MaxFrame bytes on
-// the say-so of an untrusted length field.
+// The codec is defensive: it never allocates more than MaxFrame bytes
+// on the say-so of an untrusted length field, and every format
+// rejection wraps ErrBadFrame so transports can tell corruption from
+// connection lifecycle errors with errors.Is.
 package wire
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
 	"encag/internal/block"
 )
+
+// ErrBadFrame is wrapped by every frame-format rejection (bad magic,
+// absurd counts, oversized length fields): errors.Is(err, ErrBadFrame)
+// distinguishes a corrupted byte stream from an I/O failure. A frame a
+// decoder cannot parse is rejected with a structured error — it is
+// never delivered, and the bytes after it are unreachable (stream
+// framing is lost), so corruption can cost frames but never misroute
+// one.
+var ErrBadFrame = errors.New("wire: malformed frame")
 
 const (
 	magic = 0x4541474D // "EAGM"
@@ -46,26 +62,28 @@ const (
 )
 
 // WriteMessage encodes and writes one frame with sequence number 0 and
-// epoch 0.
+// operation id 0.
 func WriteMessage(w io.Writer, src int, msg block.Message) error {
 	return WriteFrame(w, src, 0, 0, msg)
 }
 
 // WriteMessageSeq encodes and writes one frame carrying an explicit
-// sequence number (epoch 0). Senders number the frames of each directed
-// connection monotonically so that a frame resent after a transient
-// failure (reconnect + hello re-handshake) is recognized as a duplicate
-// by the receiver and dropped instead of delivered twice.
+// sequence number (operation id 0). Senders number the frames of each
+// directed connection monotonically so that a frame resent after a
+// transient failure (reconnect + hello re-handshake) is recognized as a
+// duplicate by the receiver and dropped instead of delivered twice.
 func WriteMessageSeq(w io.Writer, src int, seq uint64, msg block.Message) error {
 	return WriteFrame(w, src, 0, seq, msg)
 }
 
 // WriteFrame encodes and writes one frame carrying an explicit sequence
-// number and operation epoch. A persistent session stamps every frame
-// with the epoch of the collective it belongs to, so a receiver can
-// discard frames that straggle in from an earlier (possibly aborted)
-// operation on the same long-lived connection.
-func WriteFrame(w io.Writer, src int, epoch uint32, seq uint64, msg block.Message) error {
+// number and operation id. A persistent session stamps every frame with
+// the id of the collective it belongs to, so a receiver can demultiplex
+// the interleaved frames of concurrent operations on one long-lived
+// connection and discard frames that straggle in from a retired
+// (possibly aborted) operation. The id travels in the wire position
+// earlier revisions called the epoch; the encoding is identical.
+func WriteFrame(w io.Writer, src int, op uint32, seq uint64, msg block.Message) error {
 	bw := bufio.NewWriter(w)
 	if err := writeU32(bw, magic); err != nil {
 		return err
@@ -76,7 +94,7 @@ func WriteFrame(w io.Writer, src int, epoch uint32, seq uint64, msg block.Messag
 	if err := writeU64(bw, seq); err != nil {
 		return err
 	}
-	if err := writeU32(bw, epoch); err != nil {
+	if err := writeU32(bw, op); err != nil {
 		return err
 	}
 	if err := writeU32(bw, uint32(len(msg.Chunks))); err != nil {
@@ -118,28 +136,32 @@ func WriteFrame(w io.Writer, src int, epoch uint32, seq uint64, msg block.Messag
 }
 
 // ReadMessage reads and decodes one frame, discarding the sequence
-// number and epoch.
+// number and operation id.
 func ReadMessage(r io.Reader) (src int, msg block.Message, err error) {
 	src, _, msg, err = ReadMessageSeq(r)
 	return src, msg, err
 }
 
 // ReadMessageSeq reads and decodes one frame including its sequence
-// number, discarding the epoch.
+// number, discarding the operation id.
 func ReadMessageSeq(r io.Reader) (src int, seq uint64, msg block.Message, err error) {
 	src, _, seq, msg, err = ReadFrame(r)
 	return src, seq, msg, err
 }
 
 // ReadFrame reads and decodes one frame including its sequence number
-// and operation epoch.
-func ReadFrame(r io.Reader) (src int, epoch uint32, seq uint64, msg block.Message, err error) {
+// and operation id. Any uint32 is a valid id — routing (or dropping)
+// the frame by id is the transport's job, so a frame from a peer
+// speaking the earlier epoch-based dialect parses fine and is simply
+// dropped if no live operation carries its id: readable or rejected,
+// never misrouted.
+func ReadFrame(r io.Reader) (src int, op uint32, seq uint64, msg block.Message, err error) {
 	var m uint32
 	if m, err = readU32(r); err != nil {
 		return 0, 0, 0, msg, err
 	}
 	if m != magic {
-		return 0, 0, 0, msg, fmt.Errorf("wire: bad magic %#x", m)
+		return 0, 0, 0, msg, fmt.Errorf("%w: bad magic %#x", ErrBadFrame, m)
 	}
 	s, err := readU32(r)
 	if err != nil {
@@ -149,7 +171,7 @@ func ReadFrame(r io.Reader) (src int, epoch uint32, seq uint64, msg block.Messag
 	if seq, err = readU64(r); err != nil {
 		return 0, 0, 0, msg, err
 	}
-	if epoch, err = readU32(r); err != nil {
+	if op, err = readU32(r); err != nil {
 		return 0, 0, 0, msg, err
 	}
 	nChunks, err := readU32(r)
@@ -157,7 +179,7 @@ func ReadFrame(r io.Reader) (src int, epoch uint32, seq uint64, msg block.Messag
 		return 0, 0, 0, msg, err
 	}
 	if nChunks > maxCount {
-		return 0, 0, 0, msg, fmt.Errorf("wire: %d chunks exceeds limit", nChunks)
+		return 0, 0, 0, msg, fmt.Errorf("%w: %d chunks exceeds limit", ErrBadFrame, nChunks)
 	}
 	var total uint64
 	msg.Chunks = make([]block.Chunk, 0, nChunks)
@@ -178,7 +200,7 @@ func ReadFrame(r io.Reader) (src int, epoch uint32, seq uint64, msg block.Messag
 			return 0, 0, 0, msg, err
 		}
 		if nBlocks > maxCount {
-			return 0, 0, 0, msg, fmt.Errorf("wire: %d blocks exceeds limit", nBlocks)
+			return 0, 0, 0, msg, fmt.Errorf("%w: %d blocks exceeds limit", ErrBadFrame, nBlocks)
 		}
 		c.Blocks = make([]block.Block, nBlocks)
 		for j := range c.Blocks {
@@ -197,11 +219,11 @@ func ReadFrame(r io.Reader) (src int, epoch uint32, seq uint64, msg block.Messag
 			return 0, 0, 0, msg, err
 		}
 		if plen > MaxChunk {
-			return 0, 0, 0, msg, fmt.Errorf("wire: chunk payload of %d bytes exceeds %d", plen, MaxChunk)
+			return 0, 0, 0, msg, fmt.Errorf("%w: chunk payload of %d bytes exceeds %d", ErrBadFrame, plen, MaxChunk)
 		}
 		total += uint64(plen)
 		if total > MaxFrame {
-			return 0, 0, 0, msg, fmt.Errorf("wire: frame exceeds %d bytes", MaxFrame)
+			return 0, 0, 0, msg, fmt.Errorf("%w: frame exceeds %d bytes", ErrBadFrame, MaxFrame)
 		}
 		c.Payload = make([]byte, plen)
 		if _, err := io.ReadFull(r, c.Payload); err != nil {
@@ -209,7 +231,7 @@ func ReadFrame(r io.Reader) (src int, epoch uint32, seq uint64, msg block.Messag
 		}
 		msg.Chunks = append(msg.Chunks, c)
 	}
-	return src, epoch, seq, msg, nil
+	return src, op, seq, msg, nil
 }
 
 // WriteHello identifies a dialing rank to the accepting side.
@@ -228,7 +250,7 @@ func ReadHello(r io.Reader) (int, error) {
 		return 0, err
 	}
 	if binary.BigEndian.Uint32(buf[0:]) != magic {
-		return 0, fmt.Errorf("wire: bad hello magic")
+		return 0, fmt.Errorf("%w: bad hello magic", ErrBadFrame)
 	}
 	return int(binary.BigEndian.Uint32(buf[4:])), nil
 }

@@ -9,6 +9,7 @@ import (
 	"encag/internal/block"
 	"encag/internal/cluster"
 	"encag/internal/encrypted"
+	"encag/internal/sched"
 	"encag/internal/trace"
 )
 
@@ -53,20 +54,28 @@ type TraceCollector = trace.Collector
 var (
 	// ErrSessionClosed is returned by operations on a closed Session.
 	ErrSessionClosed = cluster.ErrSessionClosed
-	// ErrSessionBroken is returned once a collective on the Session has
-	// failed or been cancelled: like an MPI communicator after a fatal
-	// error, the session refuses further operations — open a new one.
+	// ErrSessionBroken is returned once the session's transport has
+	// become unrecoverable — wire-level corruption (a garbled frame
+	// stream, a sequence-gate desync, a reader starved by a corrupted
+	// length field) or organic transport death. Like an MPI communicator
+	// after a fatal transport error, the session then refuses further
+	// operations; open a new one. Operation-scoped failures — context
+	// cancellation, fault-plan outcomes, authentication rejections,
+	// receive timeouts — fail only that operation and leave the session
+	// (and any concurrent operations on it) fully usable.
 	ErrSessionBroken = cluster.ErrSessionBroken
 )
 
 // sessionOptions is the merged view of a call's functional options.
 type sessionOptions struct {
-	engine     Engine
-	engineSet  bool
-	tracer     *TraceCollector
-	plan       *FaultPlan
-	profile    Profile
-	profileSet bool
+	engine      Engine
+	engineSet   bool
+	tracer      *TraceCollector
+	plan        *FaultPlan
+	profile     Profile
+	profileSet  bool
+	maxInFlight int
+	maxSet      bool
 }
 
 // Option configures OpenSession or an individual Session operation.
@@ -101,6 +110,15 @@ func WithProfile(prof Profile) Option {
 	return func(o *sessionOptions) { o.profile, o.profileSet = prof, true }
 }
 
+// WithMaxInFlight bounds how many nonblocking collectives (Session.Start)
+// may run concurrently; further Start calls block until a slot frees.
+// Session-level only; n <= 0 selects DefaultMaxInFlight. Applies to the
+// chan and tcp engines; EngineSim runs Start synchronously, so the
+// window never fills there.
+func WithMaxInFlight(n int) Option {
+	return func(o *sessionOptions) { o.maxInFlight, o.maxSet = n, true }
+}
+
 func applyOpts(opts []Option) *sessionOptions {
 	o := &sessionOptions{}
 	for _, fn := range opts {
@@ -120,29 +138,38 @@ func opLevel(opts []Option) (*sessionOptions, error) {
 	if o.profileSet {
 		return nil, errors.New("encag: WithProfile is a session-level option; pass it to OpenSession")
 	}
+	if o.maxSet {
+		return nil, errors.New("encag: WithMaxInFlight is a session-level option; pass it to OpenSession")
+	}
 	return o, nil
 }
 
 // Session is a persistent collective runtime: open once, run many
 // collectives over long-lived engine state, close once. For EngineTCP
-// the listeners, dialed links, handshakes, sequence gates and per-pair
-// crypto state survive across operations — only the first collective
+// the listeners, dialed links, handshakes, sequence gates and per-rank
+// send schedulers survive across operations — only the first collective
 // pays the O(p²) mesh setup the per-call entry points (RunOverTCP et
-// al.) re-pay every time; every frame carries an operation epoch so
-// stragglers from an earlier collective are discarded. For EngineChan
-// the sealer and rank goroutine pool persist. EngineSim sessions hold
-// the machine profile.
+// al.) re-pay every time; every frame carries its operation's id, so
+// the frames of concurrent collectives are demultiplexed to the right
+// operation and stragglers from retired ones are discarded. For
+// EngineChan the sealer and send schedulers persist. EngineSim sessions
+// hold the machine profile.
 //
-// Contexts passed to the collective methods cancel mid-operation on the
-// real engines: the run aborts and drains through the structured
-// RankError machinery (Op "cancel") without leaking goroutines. Any
-// failed or cancelled collective breaks the session (ErrSessionBroken).
+// Collectives may overlap: the blocking methods (Run, Allgather, …) are
+// safe to call from concurrent goroutines, and Start launches
+// nonblocking operations multiplexed over the same mesh, up to the
+// WithMaxInFlight window. Contexts cancel mid-operation on the real
+// engines: the run aborts and drains through the structured RankError
+// machinery (Op "cancel") without leaking goroutines, and only that
+// operation fails — the session breaks (ErrSessionBroken) only when the
+// transport itself is unrecoverable.
 type Session struct {
 	spec   Spec
 	cs     cluster.Spec
 	engine Engine
 	plan   *FaultPlan // session-level default
 	inner  *cluster.Session
+	nb     *sched.Scheduler[*RunResult] // nonblocking in-flight window
 }
 
 // OpenSession validates the spec, stands up the persistent engine state
@@ -179,7 +206,14 @@ func OpenSession(ctx context.Context, spec Spec, opts ...Option) (*Session, erro
 	if eng == "" {
 		eng = EngineChan
 	}
-	return &Session{spec: spec, cs: cs, engine: eng, plan: o.plan, inner: inner}, nil
+	return &Session{
+		spec:   spec,
+		cs:     cs,
+		engine: eng,
+		plan:   o.plan,
+		inner:  inner,
+		nb:     sched.New[*RunResult](o.maxInFlight),
+	}, nil
 }
 
 // Engine returns the session's execution backend.
@@ -197,9 +231,15 @@ func (s *Session) Err() error { return s.inner.Err() }
 // the nonce audit restarts with it.
 func (s *Session) Rekey() error { return s.inner.Rekey() }
 
-// Close tears down the persistent engine state (TCP mesh, rank pool).
-// Idempotent; always returns nil.
-func (s *Session) Close() error { return s.inner.Close() }
+// Close tears down the persistent engine state: new Start calls are
+// refused, in-flight collectives are aborted (their handles resolve to
+// a structured error wrapping ErrSessionClosed), and the transport
+// (TCP mesh, send schedulers) is drained. Idempotent; always returns
+// nil.
+func (s *Session) Close() error {
+	s.nb.Close()
+	return s.inner.Close()
+}
 
 // WireReport is the byte-level view an inter-node eavesdropper got of an
 // EngineTCP session, cumulative over every collective run on it.
