@@ -18,10 +18,52 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"encag/internal/bench"
 )
+
+// startCPUProfile begins CPU profiling into path and returns the stop
+// function; empty path is a no-op.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeMemProfile dumps the post-GC heap profile to path; empty path is
+// a no-op.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	runtime.GC() // materialize final allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	exp := flag.String("exp", "", "experiment ID to run (default: all)")
@@ -34,7 +76,12 @@ func main() {
 	session := flag.Bool("session", false, "shortcut for -exp session (per-call dial vs session reuse)")
 	overlap := flag.Bool("overlap", false, "shortcut for -exp overlap (serialized vs multiplexed in-flight collectives)")
 	iters := flag.Int("iters", 0, "iteration count for host-measuring experiments (0 = default)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	stopCPU := startCPUProfile(*cpuProfile)
+	defer stopCPU()
+	defer writeMemProfile(*memProfile)
 	if *session {
 		*exp = "session"
 	}

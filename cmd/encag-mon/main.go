@@ -1,0 +1,124 @@
+// Command encag-mon runs a live encrypted all-gather workload on one
+// persistent Session with the debug HTTP server enabled, so the
+// session's metrics can be watched while collectives are actually in
+// flight:
+//
+//	encag-mon -engine tcp -p 8 -nodes 2 -window 4 -addr 127.0.0.1:9090
+//	curl http://127.0.0.1:9090/metrics       # Prometheus text format
+//	curl http://127.0.0.1:9090/debug/vars    # expvar-style JSON
+//	go tool pprof http://127.0.0.1:9090/debug/pprof/profile?seconds=5
+//
+// The workload issues nonblocking collectives through Session.Start as
+// fast as the in-flight window admits them, for -duration (0 = until
+// interrupted). On exit it drains the window and prints a snapshot
+// summary of what the session observed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"encag"
+	"encag/internal/bench"
+)
+
+func main() {
+	p := flag.Int("p", 8, "number of processes")
+	nodes := flag.Int("nodes", 2, "number of nodes")
+	mapping := flag.String("mapping", "block", "process mapping: block or cyclic")
+	engineStr := flag.String("engine", "tcp", "execution engine: chan or tcp")
+	algName := flag.String("alg", "hs2", "algorithm name (see encag-explore)")
+	sizeStr := flag.String("size", "64KB", "message size")
+	window := flag.Int("window", 4, "nonblocking in-flight window")
+	interval := flag.Duration("interval", 0, "pause between Start calls (0 = rely on window backpressure)")
+	duration := flag.Duration("duration", 0, "how long to run (0 = until SIGINT)")
+	addr := flag.String("addr", "", "debug server listen address (empty = ephemeral loopback port)")
+	flag.Parse()
+
+	size, err := bench.ParseSize(*sizeStr)
+	if err != nil {
+		fatal(err)
+	}
+	engine := encag.Engine(*engineStr)
+	if engine != encag.EngineChan && engine != encag.EngineTCP {
+		fatal(fmt.Errorf("unknown -engine %q (want chan or tcp)", *engineStr))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	spec := encag.Spec{Procs: *p, Nodes: *nodes, Mapping: *mapping}
+	sess, err := encag.OpenSession(context.Background(), spec,
+		encag.WithEngine(engine),
+		encag.WithMaxInFlight(*window),
+		encag.WithDebugServer(*addr))
+	if err != nil {
+		fatal(err)
+	}
+	defer sess.Close()
+	fmt.Printf("encag-mon: %s %s p=%d nodes=%d window=%d\n", engine, *algName, *p, *nodes, *window)
+	fmt.Printf("metrics at http://%s/metrics (also /debug/vars, /debug/pprof/)\n", sess.DebugAddr())
+
+	// Issue collectives until the context ends; the in-flight window is
+	// the natural throttle when no interval is set. Start blocks on a
+	// full window, so ctx doubles as the admission bound.
+	var started int64
+	for ctx.Err() == nil {
+		h, err := sess.Start(ctx, *algName, size)
+		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			fatal(err)
+		}
+		started++
+		go func() {
+			if _, err := h.Wait(); err != nil && ctx.Err() == nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+		if *interval > 0 {
+			select {
+			case <-time.After(*interval):
+			case <-ctx.Done():
+			}
+		}
+	}
+	if err := sess.WaitAll(context.Background()); err != nil {
+		// Operations cancelled by the shutdown are the expected way the
+		// run ends, not a failure worth reporting.
+		var re *encag.RankError
+		if !errors.As(err, &re) || re.Op != "cancel" {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+
+	snap := sess.Snapshot()
+	fmt.Printf("\nran %d collectives (%d completed, %d failed, %d cancelled)\n",
+		started, snap.OpsCompleted, snap.OpsFailed, snap.OpsCancelled)
+	fmt.Printf("op latency: p50=%v p95=%v p99=%v\n",
+		time.Duration(snap.OpLatency.P50), time.Duration(snap.OpLatency.P95), time.Duration(snap.OpLatency.P99))
+	fmt.Printf("window waits=%d  frames sent=%d recv=%d  bytes sent=%d\n",
+		snap.WindowWaits, snap.FramesSent, snap.FramesRecv, snap.BytesSent)
+	fmt.Printf("seal: segments sealed=%d opened=%d  pool saturated=%d\n",
+		snap.SegmentsSealed, snap.SegmentsOpened, snap.PoolSaturated)
+	if engine == encag.EngineTCP {
+		fmt.Printf("wire: %d bytes  reconnects=%d resends=%d dedup drops=%d\n",
+			snap.WireBytes, snap.Reconnects, snap.Resends, snap.DedupDrops)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -87,7 +87,8 @@ func main() {
 		tr = t
 		summary = obs.Summarize("real", *algName, clusterSpec(spec), size,
 			res.Elapsed.Seconds(), res.Metrics, tr.Events).
-			WithSecurity(res.SecurityOK)
+			WithSecurity(res.SecurityOK).
+			WithOp(res.OpID, 1)
 		header = fmt.Sprintf("%s on p=%d nodes=%d %s, %s blocks [real]: elapsed %v, security ok=%v",
 			*algName, *p, *nodes, *mapping, bench.SizeName(size), res.Elapsed, res.SecurityOK)
 	case "tcp":
@@ -99,7 +100,8 @@ func main() {
 		summary = obs.Summarize("tcp", *algName, clusterSpec(spec), size,
 			res.Elapsed.Seconds(), res.Metrics, tr.Events).
 			WithSecurity(res.SecurityOK).
-			WithWire(res.WireBytes, res.WireTruncated)
+			WithWire(res.WireBytes, res.WireTruncated).
+			WithOp(res.OpID, 1)
 		header = fmt.Sprintf("%s on p=%d nodes=%d %s, %s blocks [tcp]: elapsed %v, security ok=%v, wire %d bytes (truncated=%v)",
 			*algName, *p, *nodes, *mapping, bench.SizeName(size), res.Elapsed, res.SecurityOK,
 			res.WireBytes, res.WireTruncated)

@@ -235,6 +235,10 @@ type RunResult struct {
 	InterMessages, IntraMessages int
 	Violations                   []string
 	Elapsed                      time.Duration
+	// OpID is the session-unique operation id the collective's frames
+	// carried (ids start at 1). It labels the run's trace slices and
+	// JSONL summaries, letting overlapped operations be told apart.
+	OpID uint32
 }
 
 // Allgather executes an encrypted all-gather for real over in-memory

@@ -82,14 +82,16 @@ type chanJob struct {
 // dropped — the same straggler semantics as the TCP demux.
 type chanMesh struct {
 	spec    Spec
+	lm      *liveMetrics
 	reg     *opRegistry[*realEngine]
 	sendQ   []*sched.FairQueue[chanJob]
 	senders sync.WaitGroup
 }
 
-func newChanMesh(spec Spec) *chanMesh {
+func newChanMesh(spec Spec, lm *liveMetrics) *chanMesh {
 	m := &chanMesh{
 		spec:  spec,
+		lm:    lm,
 		reg:   newOpRegistry[*realEngine](),
 		sendQ: make([]*sched.FairQueue[chanJob], spec.P),
 	}
@@ -133,12 +135,17 @@ func (m *chanMesh) sendLoop(src int) {
 			}
 		}
 		if _, live := m.reg.get(e.id); !live {
+			m.lm.stragglers.Inc()
 			continue // retired operation: dropped, never misrouted
 		}
 		var start float64
 		if e.wt.active() {
 			start = e.wt.now()
 		}
+		// Send and delivery coincide on the channel transport, so one
+		// point charges both directions of the transport counters.
+		m.lm.countSent(src, job.dst, msg.WireLen())
+		m.lm.countRecv(src, job.dst, msg.WireLen())
 		e.inboxes[job.dst].push(envelope{src: src, msg: msg})
 		if e.wt.active() {
 			e.wt.emit(src, TraceSend, start, msg.WireLen(), job.dst)
@@ -343,6 +350,7 @@ func (e *realEngine) recvFrom(rank, src int) block.Message {
 		case <-e.aborted:
 			panic(errRunAborted)
 		case <-deadline.C:
+			e.mesh.lm.recvTimeouts.Inc()
 			e.fail(&RankError{Rank: rank, Peer: src, Op: "recv",
 				Err: fmt.Errorf("no message within %v", e.recvTO)})
 		}
@@ -421,6 +429,9 @@ type RealResult struct {
 	Audit    *SecurityAudit
 	Sealer   *seal.Sealer
 	Elapsed  time.Duration
+	// OpID is the session-unique operation id the collective's frames
+	// carried; ids start at 1, so 0 means "no id" (zero-valued result).
+	OpID uint32
 }
 
 // RealTimeout bounds RunReal's wall-clock execution; a deadlocked
@@ -544,7 +555,7 @@ func (m *chanMesh) newOp(id uint32, slr *seal.Sealer, adv Adversary, inj *fault.
 		adversary: adv,
 		inj:       inj,
 		recvTO:    recvTO,
-		wt:        wallTrace{tracer: tracer},
+		wt:        wallTrace{tracer: tracer, op: id},
 		aborted:   make(chan struct{}),
 	}
 	for r := 0; r < spec.P; r++ {

@@ -51,6 +51,9 @@ type TraceEvent struct {
 	End   float64
 	Bytes int64
 	Peer  int // other rank for send/recv, -1 otherwise
+	// Op is the session operation id the interval belongs to; 0 for
+	// one-shot runs and the sim engine (which runs one op at a time).
+	Op uint32
 }
 
 // Tracer receives the sim engine's activity intervals as they complete.

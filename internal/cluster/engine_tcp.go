@@ -222,6 +222,7 @@ type tcpJob struct {
 // itself becomes unrecoverable (ErrMeshDown).
 type tcpMesh struct {
 	spec      Spec
+	lm        *liveMetrics
 	links     [][]*tcpLink // [src][dst], nil on the diagonal
 	addrs     []string     // listener address per rank, for reconnects
 	listeners []net.Listener
@@ -281,9 +282,10 @@ func (m *tcpMesh) readerStalled() error {
 // newTCPMesh listens, starts the accept loops, dials the full O(p^2)
 // connection mesh and starts the per-rank send schedulers — the setup
 // cost a session pays exactly once.
-func newTCPMesh(spec Spec) (*tcpMesh, error) {
+func newTCPMesh(spec Spec, lm *liveMetrics) (*tcpMesh, error) {
 	m := &tcpMesh{
 		spec:      spec,
+		lm:        lm,
 		links:     make([][]*tcpLink, spec.P),
 		addrs:     make([]string, spec.P),
 		listeners: make([]net.Listener, spec.P),
@@ -505,6 +507,7 @@ func (m *tcpMesh) sendLoop(src int) {
 			m.fail(fmt.Errorf("rank %d send to %d: %w", src, job.dst, err))
 			continue
 		}
+		m.lm.countSent(src, job.dst, job.msg.WireLen())
 		if e.wt.active() {
 			e.wt.emit(src, TraceSend, start, job.msg.WireLen(), job.dst)
 		}
@@ -524,6 +527,7 @@ func (m *tcpMesh) sendFrame(e *tcpEngine, src, dst int, lnk *tcpLink, seq uint64
 	var lastErr error
 	for attempt := 0; attempt <= sendRetries; attempt++ {
 		if attempt > 0 {
+			m.lm.resends.Inc()
 			backoff := time.NewTimer(sendBackoffBase << (attempt - 1))
 			select {
 			case <-backoff.C:
@@ -537,6 +541,7 @@ func (m *tcpMesh) sendFrame(e *tcpEngine, src, dst int, lnk *tcpLink, seq uint64
 				continue
 			}
 			lnk.replace(conn)
+			m.lm.reconnects.Inc()
 		}
 		conn := lnk.get()
 		if conn == nil {
@@ -666,15 +671,18 @@ func (m *tcpMesh) serveConn(dst int, conn net.Conn) {
 			return
 		}
 		if !gate.admit(seq) {
+			m.lm.dedupDrops.Inc()
 			continue // duplicate of a frame resent over a newer conn
 		}
 		e, ok := m.reg.get(opID)
 		if !ok {
+			m.lm.stragglers.Inc()
 			continue // straggler from a retired operation: dropped
 		}
 		if d := e.inj.ReadDelay(src, dst); d > 0 {
 			e.inj.Sleep(d)
 		}
+		m.lm.countRecv(src, dst, msg.WireLen())
 		e.inboxes[dst].push(envelope{src: src, msg: msg})
 	}
 }
@@ -718,7 +726,7 @@ func (m *tcpMesh) newOp(id uint32, slr *seal.Sealer, recvTO time.Duration, trace
 		bars:    make([]*realBarrier, m.spec.N),
 		audit:   &SecurityAudit{},
 		recvTO:  recvTO,
-		wt:      wallTrace{tracer: tracer},
+		wt:      wallTrace{tracer: tracer, op: id},
 		aborted: make(chan struct{}),
 	}
 	for r := 0; r < m.spec.P; r++ {
@@ -839,6 +847,7 @@ func (e *tcpEngine) recvFrom(rank, src int) block.Message {
 		case <-e.aborted:
 			panic(errRunAborted)
 		case <-deadline.C:
+			e.mesh.lm.recvTimeouts.Inc()
 			e.fail(&RankError{Rank: rank, Peer: src, Op: "recv",
 				Err: fmt.Errorf("no frame within %v", e.recvTO)})
 		}

@@ -11,6 +11,7 @@ import (
 	"encag/internal/block"
 	"encag/internal/cost"
 	"encag/internal/fault"
+	"encag/internal/metrics"
 	"encag/internal/seal"
 )
 
@@ -61,6 +62,12 @@ type SessionConfig struct {
 	// Adversary taps inter-node messages on EngineChan; ignored
 	// otherwise.
 	Adversary Adversary
+	// Metrics is the registry the session publishes its live metrics
+	// into. Nil gives the session a private registry (read it back with
+	// Session.Metrics). Sharing one registry across sessions rolls their
+	// counters up into one exposition; for the callback-backed families
+	// (in-flight, queue depth, pool stats) the last-opened session wins.
+	Metrics *metrics.Registry
 }
 
 // Op describes one collective executed on an open Session. Exactly one
@@ -120,6 +127,7 @@ type Session struct {
 	recvTO time.Duration
 
 	opSeq atomic.Uint32 // op-id allocator; ids start at 1
+	lm    *liveMetrics
 
 	mu       sync.Mutex
 	closed   bool
@@ -128,6 +136,10 @@ type Session struct {
 	slr      *seal.Sealer
 	cmesh    *chanMesh
 	mesh     *tcpMesh
+	// sealedBase/openedBase accumulate retired sealers' segment counts
+	// across rekeys, keeping the session-lifetime totals monotone.
+	sealedBase int64
+	openedBase int64
 }
 
 // OpenSession validates the spec, stands up the persistent engine state
@@ -141,6 +153,11 @@ func OpenSession(spec Spec, cfg SessionConfig) (*Session, error) {
 	if s.recvTO <= 0 {
 		s.recvTO = DefaultRecvTimeout
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s.lm = newLiveMetrics(reg, spec, cfg.Engine)
 	if cfg.Engine == EngineSim {
 		return s, nil
 	}
@@ -150,14 +167,15 @@ func OpenSession(spec Spec, cfg SessionConfig) (*Session, error) {
 	}
 	s.slr = slr
 	if cfg.Engine == EngineTCP {
-		mesh, err := newTCPMesh(spec)
+		mesh, err := newTCPMesh(spec, s.lm)
 		if err != nil {
 			return nil, err
 		}
 		s.mesh = mesh
 	} else {
-		s.cmesh = newChanMesh(spec)
+		s.cmesh = newChanMesh(spec, s.lm)
 	}
+	s.registerRuntimeMetrics()
 	return s, nil
 }
 
@@ -236,7 +254,13 @@ func (s *Session) Rekey() error {
 	if err != nil {
 		return err
 	}
+	// Fold the retiring sealer's counts into the session-lifetime bases
+	// so the sealed/opened totals stay monotone across the key swap.
+	sealed, opened := s.slr.Counts()
+	s.sealedBase += sealed
+	s.openedBase += opened
 	s.slr = slr
+	s.lm.rekeys.Inc()
 	return nil
 }
 
@@ -337,6 +361,7 @@ func (s *Session) admit(ctx context.Context) (*seal.Sealer, error) {
 			// cause predated the transport failure; surface it now.
 			if s.broken == nil {
 				s.broken = merr
+				s.lm.poisonings.Inc()
 			}
 			return nil, fmt.Errorf("%w: %v", ErrSessionBroken, merr)
 		}
@@ -382,6 +407,7 @@ func (s *Session) noteFailure(err error) {
 	s.mu.Lock()
 	if s.broken == nil {
 		s.broken = err
+		s.lm.poisonings.Inc()
 	}
 	s.mu.Unlock()
 }
@@ -405,8 +431,10 @@ func (s *Session) Collective(ctx context.Context, op Op) (*RealResult, error) {
 		return nil, err
 	}
 	defer s.release()
+	s.lm.opsStarted.Inc()
 	sizes, payloads, err := op.resolve(s.spec)
 	if err != nil {
+		s.lm.opsFailed.Inc()
 		return nil, err
 	}
 	tracer := op.Tracer
@@ -422,6 +450,7 @@ func (s *Session) Collective(ctx context.Context, op Op) (*RealResult, error) {
 	// nor delays can leak between concurrent (or successive) operations.
 	id := s.opSeq.Add(1)
 	inj := fault.NewInjector(plan)
+	inj.SetObserver(s.lm.observeFault)
 
 	var run opRun
 	if s.cfg.Engine == EngineTCP {
@@ -478,8 +507,17 @@ func (s *Session) Collective(ctx context.Context, op Op) (*RealResult, error) {
 	res.Elapsed = time.Since(start)
 	if err := run.fails.err(); err != nil {
 		s.noteFailure(err)
+		var re *RankError
+		if errors.As(err, &re) && re.Op == "cancel" {
+			s.lm.opsCancelled.Inc()
+		} else {
+			s.lm.opsFailed.Inc()
+		}
 		return nil, err
 	}
+	s.lm.opsCompleted.Inc()
+	s.lm.opLatency.Observe(res.Elapsed.Nanoseconds())
+	res.OpID = id
 	res.Critical = CriticalPath(res.PerRank)
 	return res, nil
 }
@@ -505,13 +543,21 @@ func (s *Session) Sim(ctx context.Context, op Op) (*SimResult, error) {
 	if ctx.Err() != nil {
 		return nil, &RankError{Rank: -1, Peer: -1, Op: "cancel", Err: context.Cause(ctx)}
 	}
+	s.lm.opsStarted.Inc()
 	sizes, _, err := op.resolve(s.spec)
 	if err != nil {
+		s.lm.opsFailed.Inc()
 		return nil, err
 	}
 	tracer := op.Tracer
 	if tracer == nil {
 		tracer = s.cfg.Tracer
 	}
-	return runSim(s.spec, s.cfg.Profile, sizes, op.Algo, tracer)
+	res, err := runSim(s.spec, s.cfg.Profile, sizes, op.Algo, tracer)
+	if err != nil {
+		s.lm.opsFailed.Inc()
+		return nil, err
+	}
+	s.lm.opsCompleted.Inc()
+	return res, nil
 }

@@ -14,6 +14,7 @@ import "time"
 type wallTrace struct {
 	tracer Tracer
 	epoch  time.Time
+	op     uint32 // operation id stamped on every event
 }
 
 // noopSpan is returned by inactive spans so callers can close them
@@ -28,7 +29,7 @@ func (w *wallTrace) now() float64 { return time.Since(w.epoch).Seconds() }
 func (w *wallTrace) emit(rank int, kind TraceKind, start float64, bytes int64, peer int) {
 	w.tracer.Record(TraceEvent{
 		Rank: rank, Kind: kind, Start: start, End: w.now(),
-		Bytes: bytes, Peer: peer,
+		Bytes: bytes, Peer: peer, Op: w.op,
 	})
 }
 

@@ -211,11 +211,26 @@ type pair struct{ src, dst int }
 // Injector applies a Plan at runtime. All methods are safe for
 // concurrent use and safe on a nil receiver (no faults).
 type Injector struct {
-	mu     sync.Mutex
-	rules  []Rule
-	fired  []int
-	frames map[pair]int
-	sleep  func(time.Duration) // test seam; time.Sleep in production
+	mu      sync.Mutex
+	rules   []Rule
+	fired   []int
+	frames  map[pair]int
+	sleep   func(time.Duration) // test seam; time.Sleep in production
+	observe func(Kind)          // optional per-applied-fault hook
+}
+
+// SetObserver registers fn to be called once for every fault the
+// injector actually applies (one call per rule firing), with the
+// fault's kind — the hook live-metrics instrumentation hangs off. fn
+// must be fast and safe for concurrent use; it runs outside the
+// injector's lock. Safe on a nil receiver (no-op).
+func (in *Injector) SetObserver(fn func(Kind)) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.observe = fn
+	in.mu.Unlock()
 }
 
 // NewInjector builds an injector for a plan; a nil or empty plan yields
@@ -255,8 +270,8 @@ func (in *Injector) SendFrame(src, dst int) Verdict {
 	if in == nil {
 		return v
 	}
+	var applied []Kind
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	f := in.frames[pair{src, dst}]
 	in.frames[pair{src, dst}] = f + 1
 	for i, r := range in.rules {
@@ -272,6 +287,14 @@ func (in *Injector) SendFrame(src, dst int) Verdict {
 			v.Stall += r.Delay
 		case PartialWrite:
 			v.PartialKeep = r.Keep
+		}
+		applied = append(applied, r.Kind)
+	}
+	obs := in.observe
+	in.mu.Unlock()
+	if obs != nil {
+		for _, k := range applied {
+			obs(k)
 		}
 	}
 	return v
@@ -294,14 +317,22 @@ func (in *Injector) ReadDelay(src, dst int) time.Duration {
 	if in == nil {
 		return 0
 	}
+	var applied int
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	var d time.Duration
 	for i, r := range in.rules {
 		if r.Kind != StallRead || !r.matches(src, dst, 0) || !in.fire(i) {
 			continue
 		}
 		d += r.Delay
+		applied++
+	}
+	obs := in.observe
+	in.mu.Unlock()
+	if obs != nil {
+		for ; applied > 0; applied-- {
+			obs(StallRead)
+		}
 	}
 	return d
 }

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus writes every registered family in Prometheus text
+// exposition format: families sorted by name, entries in registration
+// order, HELP/TYPE headers once per family. Counters and gauges emit
+// one sample per entry; histograms emit the summary shape — three
+// quantile samples (0.5, 0.95, 0.99) plus _sum and _count.
+//
+// Scrape-time callbacks run outside the registry lock, so a callback
+// may itself take subsystem locks.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.view() {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, e := range f.entries {
+			if f.kind == KindHistogram {
+				writeSummary(&b, f.name, e)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %d\n", f.name, e.labels, e.value())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSummary(b *strings.Builder, name string, e *entry) {
+	s := e.hist.Snapshot()
+	for _, qv := range []struct {
+		q string
+		v int64
+	}{{"0.5", s.P50}, {"0.95", s.P95}, {"0.99", s.P99}} {
+		fmt.Fprintf(b, "%s%s %d\n", name, mergeLabels(e.labels, `quantile="`+qv.q+`"`), qv.v)
+	}
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, e.labels, s.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, e.labels, s.Count)
+}
+
+// mergeLabels appends one rendered pair to an already rendered label
+// string.
+func mergeLabels(labels, pair string) string {
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// Snapshot returns every metric's current value as a flat map keyed by
+// "name" or "name{labels}". Counters and gauges map to int64;
+// histograms map to a sub-object with count/sum/min/max/p50/p95/p99.
+// The result marshals cleanly as JSON — it backs the expvar exposition.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, f := range r.view() {
+		for _, e := range f.entries {
+			key := f.name + e.labels
+			if f.kind == KindHistogram {
+				s := e.hist.Snapshot()
+				out[key] = map[string]int64{
+					"count": s.Count, "sum": s.Sum,
+					"min": s.Min, "max": s.Max,
+					"p50": s.P50, "p95": s.P95, "p99": s.P99,
+				}
+				continue
+			}
+			out[key] = e.value()
+		}
+	}
+	return out
+}
+
+// ExpvarFunc adapts the registry to an expvar.Var, for publication
+// under a caller-chosen name (expvar.Publish) or direct serving on a
+// /debug/vars endpoint.
+func (r *Registry) ExpvarFunc() expvar.Func {
+	return expvar.Func(func() any { return r.Snapshot() })
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is one bucket per base-2 magnitude: bucket 0 holds v <= 0,
+// bucket i (1..64) holds values with exactly i significant bits, i.e.
+// [2^(i-1), 2^i - 1].
+const histBuckets = 65
+
+// Histogram is a log2-bucketed distribution of int64 observations
+// (latencies in nanoseconds, sizes in bytes). Observe is lock-free —
+// a handful of atomic adds — so it sits on hot paths; Snapshot derives
+// count, sum, min/max and p50/p95/p99 from the buckets at read time.
+//
+// Bucket quantiles are upper-bound estimates: a reported quantile is at
+// most one power of two above the true order statistic, clamped to the
+// observed min/max so single-valued distributions report exactly.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // MaxInt64 until the first observation
+	max     atomic.Int64 // MinInt64 until the first observation
+	buckets [histBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram. Histograms are normally
+// minted by Registry.Histogram so they appear in the exposition.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketUpper is bucket i's largest representable value.
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return (int64(1) << uint(i)) - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// HistSnapshot is a histogram's state at one instant.
+type HistSnapshot struct {
+	Count int64
+	Sum   int64
+	Min   int64
+	Max   int64
+	P50   int64
+	P95   int64
+	P99   int64
+}
+
+// Snapshot derives the current count, sum, extrema and quantiles.
+// Concurrent Observes may land between the individual atomic reads; the
+// snapshot is internally consistent to within those in-flight updates.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistSnapshot{Count: total, Sum: h.sum.Load()}
+	if total == 0 {
+		return s
+	}
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	s.P50 = h.clamp(quantile(counts[:], total, 0.50), s)
+	s.P95 = h.clamp(quantile(counts[:], total, 0.95), s)
+	s.P99 = h.clamp(quantile(counts[:], total, 0.99), s)
+	return s
+}
+
+func (h *Histogram) clamp(v int64, s HistSnapshot) int64 {
+	if v > s.Max {
+		return s.Max
+	}
+	if v < s.Min {
+		return s.Min
+	}
+	return v
+}
+
+// quantile is the nearest-rank estimator over the bucket counts,
+// returning the selected bucket's upper bound.
+func quantile(counts []int64, total int64, q float64) int64 {
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(len(counts) - 1)
+}

@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	c.Add(-100) // counters are monotone: negative deltas ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_inflight", "inflight")
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestGetOrCreateReturnsSameHandle(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "t", L("k", "v"))
+	b := r.Counter("test_total", "t", L("k", "v"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	other := r.Counter("test_total", "t", L("k", "w"))
+	if a == other {
+		t.Fatal("different labels returned the same counter")
+	}
+	// Label order must not matter for identity.
+	x := r.Gauge("test_pairs", "t", L("a", "1"), L("b", "2"))
+	y := r.Gauge("test_pairs", "t", L("b", "2"), L("a", "1"))
+	if x != y {
+		t.Fatal("label order changed entry identity")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "t")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_total", "t")
+}
+
+func TestConcurrentCountersMonotone(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "t")
+	h := r.Histogram("test_lat_ns", "t")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(w*perWorker + i + 1))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", s.Count, workers*perWorker)
+	}
+}
+
+func TestHistogramQuantilesSane(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("snapshot count/min/max = %d/%d/%d", s.Count, s.Min, s.Max)
+	}
+	if s.Sum != 1000*1001/2 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+		t.Fatalf("quantiles not monotone: p50=%d p95=%d p99=%d", s.P50, s.P95, s.P99)
+	}
+	if s.P50 < s.Min || s.P99 > s.Max {
+		t.Fatalf("quantiles outside [min,max]: %+v", s)
+	}
+	// Log2 buckets overestimate by at most one power of two: the true
+	// p50 of 1..1000 is 500, so the estimate must be in [500, 1000].
+	if s.P50 < 500 {
+		t.Fatalf("p50 = %d underestimates the true median 500", s.P50)
+	}
+}
+
+func TestHistogramSingleValueExact(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(42)
+	s := h.Snapshot()
+	if s.P50 != 42 || s.P95 != 42 || s.P99 != 42 {
+		t.Fatalf("single observation must report exactly: %+v", s)
+	}
+}
+
+func TestHistogramZeroAndHuge(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(math.MaxInt64)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != -5 || s.Max != math.MaxInt64 {
+		t.Fatalf("min/max = %d/%d", s.Min, s.Max)
+	}
+}
+
+func TestCallbackMetrics(t *testing.T) {
+	r := NewRegistry()
+	val := int64(3)
+	r.GaugeFunc("test_depth", "t", func() int64 { return val })
+	r.CounterFunc("test_bytes_total", "t", func() int64 { return 99 })
+	snap := r.Snapshot()
+	if snap["test_depth"] != int64(3) || snap["test_bytes_total"] != int64(99) {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Re-registration replaces the callback.
+	r.GaugeFunc("test_depth", "t", func() int64 { return 8 })
+	if got := r.Snapshot()["test_depth"]; got != int64(8) {
+		t.Fatalf("replaced callback read %v, want 8", got)
+	}
+}
+
+// TestPrometheusGolden pins the full text exposition for a registry with
+// fixed values: family ordering, HELP/TYPE headers, label rendering and
+// the summary shape of histograms.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last_total", "sorts last").Add(1)
+	c := r.Counter("app_ops_total", "operations", L("kind", "run"))
+	c.Add(12)
+	r.Counter("app_ops_total", "operations", L("kind", "sim")) // stays 0
+	g := r.Gauge("app_inflight", "in-flight operations")
+	g.Set(2)
+	r.GaugeFunc("app_depth", "queue depth", func() int64 { return 5 })
+	h := r.Histogram("app_latency_ns", "latency", L("engine", "tcp"))
+	h.Observe(7) // bucket upper bound 7
+	h.Observe(7)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP app_depth queue depth
+# TYPE app_depth gauge
+app_depth 5
+# HELP app_inflight in-flight operations
+# TYPE app_inflight gauge
+app_inflight 2
+# HELP app_latency_ns latency
+# TYPE app_latency_ns summary
+app_latency_ns{engine="tcp",quantile="0.5"} 7
+app_latency_ns{engine="tcp",quantile="0.95"} 7
+app_latency_ns{engine="tcp",quantile="0.99"} 7
+app_latency_ns_sum{engine="tcp"} 14
+app_latency_ns_count{engine="tcp"} 2
+# HELP app_ops_total operations
+# TYPE app_ops_total counter
+app_ops_total{kind="run"} 12
+app_ops_total{kind="sim"} 0
+# HELP zz_last_total sorts last
+# TYPE zz_last_total counter
+zz_last_total 1
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "t", L("k", "a\"b\\c\nd")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{k="a\"b\\c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaped sample %q missing from:\n%s", want, sb.String())
+	}
+}
+
+func TestExpvarSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("j_total", "t", L("k", "v")).Add(2)
+	r.Histogram("j_lat_ns", "t").Observe(100)
+	out := r.ExpvarFunc().String()
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("expvar output is not valid JSON: %v\n%s", err, out)
+	}
+	if decoded[`j_total{k="v"}`] != float64(2) {
+		t.Fatalf("snapshot = %v", decoded)
+	}
+	hist, ok := decoded["j_lat_ns"].(map[string]any)
+	if !ok || hist["count"] != float64(1) {
+		t.Fatalf("histogram snapshot = %v", decoded["j_lat_ns"])
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 
 	"encag/internal/cluster"
 )
@@ -74,6 +76,11 @@ func WriteChromeTrace(w io.Writer, events []cluster.TraceEvent) error {
 		if ev.Peer >= 0 {
 			args["peer"] = ev.Peer
 		}
+		if ev.Op != 0 {
+			// Label the slice with its operation id so overlapping
+			// collectives on one session stay distinguishable per track.
+			args["op"] = ev.Op
+		}
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: ev.Kind.String(),
 			Cat:  ev.Kind.String(),
@@ -125,8 +132,35 @@ type RunSummary struct {
 	CritRank     int                `json:"crit_rank"`
 	CritEndSec   float64            `json:"crit_end_sec"`
 	CritPhaseSec map[string]float64 `json:"crit_phase_sec,omitempty"`
-	SecurityOK   *bool              `json:"security_ok,omitempty"` // real/tcp only
-	Wire         *WireSummary       `json:"wire,omitempty"`        // tcp only
+	// PhaseQuantiles distributes the per-interval durations of each
+	// activity kind across all ranks: where PhaseSec says how much total
+	// time a phase took, the quantiles say how it was spread over the
+	// individual sends/receives/seals.
+	PhaseQuantiles map[string]PhaseQuantiles `json:"phase_quantiles,omitempty"`
+	SecurityOK     *bool                     `json:"security_ok,omitempty"` // real/tcp only
+	Wire           *WireSummary              `json:"wire,omitempty"`        // tcp only
+	// OpID is the session operation id of the summarized collective
+	// (session runs only; 0 for one-shot and sim runs).
+	OpID uint32 `json:"op_id,omitempty"`
+	// Window is the nonblocking in-flight window the run executed under.
+	Window int `json:"window,omitempty"`
+}
+
+// PhaseQuantiles holds nearest-rank duration quantiles (in seconds) over
+// one activity kind's intervals.
+type PhaseQuantiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// durQuantile returns the nearest-rank q-quantile of sorted durations.
+func durQuantile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
 }
 
 // Summarize builds a RunSummary from a run's spec, six-metric critical
@@ -152,12 +186,23 @@ func Summarize(engine, algorithm string, spec cluster.Spec, msgSize int64, elaps
 	s.PhaseSec = make(map[string]float64)
 	s.PhaseBytes = make(map[string]int64)
 	perRankEnd := make(map[int]float64)
+	durs := make(map[string][]float64)
 	for _, ev := range events {
 		k := ev.Kind.String()
 		s.PhaseSec[k] += ev.End - ev.Start
 		s.PhaseBytes[k] += ev.Bytes
+		durs[k] = append(durs[k], ev.End-ev.Start)
 		if ev.End > perRankEnd[ev.Rank] {
 			perRankEnd[ev.Rank] = ev.End
+		}
+	}
+	s.PhaseQuantiles = make(map[string]PhaseQuantiles, len(durs))
+	for k, d := range durs {
+		sort.Float64s(d)
+		s.PhaseQuantiles[k] = PhaseQuantiles{
+			P50: durQuantile(d, 0.50),
+			P95: durQuantile(d, 0.95),
+			P99: durQuantile(d, 0.99),
 		}
 	}
 	for r, end := range perRankEnd {
@@ -183,6 +228,14 @@ func (s RunSummary) WithSecurity(ok bool) RunSummary {
 // WithWire records the WireSniffer capture totals (TCP runs).
 func (s RunSummary) WithWire(bytes int64, truncated bool) RunSummary {
 	s.Wire = &WireSummary{Bytes: bytes, Truncated: truncated}
+	return s
+}
+
+// WithOp records the session operation id and the nonblocking in-flight
+// window the collective ran under.
+func (s RunSummary) WithOp(opID uint32, window int) RunSummary {
+	s.OpID = opID
+	s.Window = window
 	return s
 }
 

@@ -15,8 +15,8 @@ import (
 func sampleEvents() []cluster.TraceEvent {
 	return []cluster.TraceEvent{
 		{Rank: 0, Kind: cluster.TraceEncrypt, Start: 0, End: 1e-3, Bytes: 1024, Peer: -1},
-		{Rank: 0, Kind: cluster.TraceSend, Start: 1e-3, End: 2e-3, Bytes: 1040, Peer: 1},
-		{Rank: 1, Kind: cluster.TraceRecv, Start: 0, End: 2e-3, Bytes: 1040, Peer: 0},
+		{Rank: 0, Kind: cluster.TraceSend, Start: 1e-3, End: 2e-3, Bytes: 1040, Peer: 1, Op: 7},
+		{Rank: 1, Kind: cluster.TraceRecv, Start: 0, End: 2e-3, Bytes: 1040, Peer: 0, Op: 7},
 		{Rank: 1, Kind: cluster.TraceDecrypt, Start: 2e-3, End: 4e-3, Bytes: 1024, Peer: -1},
 	}
 }
@@ -56,6 +56,23 @@ func TestChromeTraceShape(t *testing.T) {
 	}
 	if !tracks[0] || !tracks[1] {
 		t.Errorf("slices missing a rank track: %v", tracks)
+	}
+	// Slices of session operations carry the op id; op-less events don't.
+	withOp := 0
+	for _, ev := range out.TraceEvents {
+		if ev["ph"] != "X" {
+			continue
+		}
+		args := ev["args"].(map[string]any)
+		if op, ok := args["op"]; ok {
+			withOp++
+			if op.(float64) != 7 {
+				t.Errorf("op arg = %v, want 7", op)
+			}
+		}
+	}
+	if withOp != 2 {
+		t.Errorf("want 2 slices labeled with the op id, got %d", withOp)
 	}
 }
 
@@ -119,6 +136,55 @@ func TestSummarizePhasesAndCriticalRank(t *testing.T) {
 	}
 	if s.SecurityOK != nil || s.Wire != nil {
 		t.Error("sim summary should not carry security/wire fields")
+	}
+	// Each kind has one or two intervals; nearest-rank quantiles of a
+	// singleton are the value itself, of a pair p50 is the smaller.
+	q, ok := s.PhaseQuantiles["decrypt"]
+	if !ok || q.P50 != 2e-3 || q.P95 != 2e-3 || q.P99 != 2e-3 {
+		t.Errorf("decrypt quantiles wrong: %+v", q)
+	}
+	if q := s.PhaseQuantiles["send"]; q.P50 != 1e-3 {
+		t.Errorf("send p50 = %g, want 1e-3", q.P50)
+	}
+}
+
+func TestSummaryWithOp(t *testing.T) {
+	spec := cluster.Spec{P: 2, N: 1, Mapping: cluster.BlockMapping}
+	sum := Summarize("tcp", "hs2", spec, 64, 0.1, cluster.Critical{}, sampleEvents()).
+		WithOp(42, 4)
+	var buf bytes.Buffer
+	if err := sum.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["op_id"].(float64) != 42 || m["window"].(float64) != 4 {
+		t.Errorf("op fields wrong: op_id=%v window=%v", m["op_id"], m["window"])
+	}
+	pq, ok := m["phase_quantiles"].(map[string]any)
+	if !ok {
+		t.Fatalf("no phase_quantiles in %s", buf.String())
+	}
+	for _, k := range []string{"send", "recv", "encrypt", "decrypt"} {
+		obj, ok := pq[k].(map[string]any)
+		if !ok {
+			t.Fatalf("phase_quantiles missing %q: %v", k, pq)
+		}
+		for _, f := range []string{"p50", "p95", "p99"} {
+			if _, ok := obj[f]; !ok {
+				t.Errorf("phase_quantiles[%q] missing %q", k, f)
+			}
+		}
+	}
+	// One-shot runs never set the op fields; they must stay omitted.
+	var plain bytes.Buffer
+	if err := Summarize("sim", "hs2", spec, 64, 0.1, cluster.Critical{}, nil).WriteJSONL(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "op_id") || strings.Contains(plain.String(), "window") {
+		t.Errorf("op fields leaked into op-less summary: %s", plain.String())
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultMaxInFlight is the admission window applied when a Scheduler
@@ -32,6 +33,7 @@ var ErrClosed = errors.New("sched: scheduler is closed")
 // tracks their handles. All methods are safe for concurrent use.
 type Scheduler[T any] struct {
 	slots chan struct{} // counting semaphore; capacity = window size
+	waits atomic.Int64  // Start calls that found the window full
 
 	mu      sync.Mutex
 	closed  bool
@@ -61,6 +63,11 @@ func (s *Scheduler[T]) InFlight() int {
 	return s.live
 }
 
+// WindowWaits returns how many Start calls found the window full and had
+// to block for a slot — the cumulative backpressure events observed over
+// the scheduler's lifetime.
+func (s *Scheduler[T]) WindowWaits() int64 { return s.waits.Load() }
+
 // Start admits one operation: it blocks while the window is full
 // (backpressure), then runs fn on its own goroutine and returns the
 // handle immediately. The context only bounds admission — cancelling it
@@ -79,8 +86,14 @@ func (s *Scheduler[T]) Start(ctx context.Context, fn func() (T, error)) (*Handle
 	s.mu.Unlock()
 	select {
 	case s.slots <- struct{}{}:
-	case <-ctx.Done():
-		return nil, fmt.Errorf("sched: waiting for an in-flight slot: %w", context.Cause(ctx))
+	default:
+		// The window is full: count the backpressure event, then block.
+		s.waits.Add(1)
+		select {
+		case s.slots <- struct{}{}:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("sched: waiting for an in-flight slot: %w", context.Cause(ctx))
+		}
 	}
 	h := newHandle[T]()
 	s.mu.Lock()

@@ -21,6 +21,10 @@ type Pool struct {
 	size  int
 	tasks chan func()
 
+	busy       atomic.Int64 // workers currently executing a task
+	dispatched atomic.Int64 // tasks accepted by offer
+	saturated  atomic.Int64 // offers refused at the worker cap
+
 	mu      sync.Mutex
 	workers int
 }
@@ -41,6 +45,37 @@ func NewPool(size int) *Pool {
 // Size returns the worker cap.
 func (p *Pool) Size() int { return p.size }
 
+// PoolStats is a Pool's instantaneous utilization view plus its
+// cumulative dispatch counters.
+type PoolStats struct {
+	// Size is the worker cap.
+	Size int
+	// Workers is how many worker goroutines are currently alive (busy or
+	// idling toward their timeout).
+	Workers int
+	// Busy is how many workers are executing a task right now.
+	Busy int
+	// Dispatched counts tasks accepted by the pool over its lifetime.
+	Dispatched int64
+	// Saturated counts offers refused at the worker cap — each one is a
+	// caller that degraded to serial execution instead of blocking.
+	Saturated int64
+}
+
+// Stats returns the pool's current utilization and cumulative counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	w := p.workers
+	p.mu.Unlock()
+	return PoolStats{
+		Size:       p.size,
+		Workers:    w,
+		Busy:       int(p.busy.Load()),
+		Dispatched: p.dispatched.Load(),
+		Saturated:  p.saturated.Load(),
+	}
+}
+
 var (
 	sharedPoolOnce sync.Once
 	sharedPoolVal  *Pool
@@ -58,6 +93,7 @@ func SharedPool() *Pool {
 func (p *Pool) offer(fn func()) bool {
 	select {
 	case p.tasks <- fn:
+		p.dispatched.Add(1)
 		return true
 	default:
 	}
@@ -67,13 +103,16 @@ func (p *Pool) offer(fn func()) bool {
 		// One more non-blocking attempt in case a worker just freed up.
 		select {
 		case p.tasks <- fn:
+			p.dispatched.Add(1)
 			return true
 		default:
+			p.saturated.Add(1)
 			return false
 		}
 	}
 	p.workers++
 	p.mu.Unlock()
+	p.dispatched.Add(1)
 	go p.work(fn)
 	return true
 }
@@ -82,7 +121,9 @@ func (p *Pool) work(fn func()) {
 	timer := time.NewTimer(poolIdleTimeout)
 	defer timer.Stop()
 	for {
+		p.busy.Add(1)
 		fn()
+		p.busy.Add(-1)
 		if !timer.Stop() {
 			<-timer.C
 		}

@@ -77,6 +77,11 @@ func (s *Sealer) workerPool() *Pool {
 	return SharedPool()
 }
 
+// Pool returns the worker pool this sealer's segmented operations run
+// on — its dedicated pool when SetWorkers configured one, else the
+// process-wide shared pool. Callers use it to read utilization stats.
+func (s *Sealer) Pool() *Pool { return s.workerPool() }
+
 // SegmentCount returns how many segments an n-byte plaintext splits into
 // under the given segment size (every plaintext has at least one).
 func SegmentCount(n int64, segSize int) int {

@@ -1,0 +1,36 @@
+package encag
+
+import (
+	"encag/internal/cluster"
+	"encag/internal/metrics"
+)
+
+// MetricsRegistry is a session's live metrics store: atomic counters,
+// gauges and log-bucketed histograms, exposable as Prometheus text
+// format (WritePrometheus), as an expvar value (ExpvarFunc) or as a
+// flat map (Snapshot). Obtain one with Session.Metrics. The name
+// MetricsRegistry (rather than Metrics) avoids colliding with the
+// six-metric cost model type Metrics.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is the typed point-in-time view Session.Snapshot
+// returns: operation counters, latency quantiles, scheduler and seal
+// pool state, fault/recovery counters and transport totals.
+type MetricsSnapshot = cluster.SessionSnapshot
+
+// HistogramSnapshot reports a latency histogram's totals and
+// nearest-rank quantiles (see MetricsSnapshot.OpLatency).
+type HistogramSnapshot = metrics.HistSnapshot
+
+// Names of the nonblocking-window metric families, registered by
+// OpenSession alongside the cluster runtime's families (whose names are
+// exported from the same schema: encag_session_*, encag_sched_*,
+// encag_seal_*, encag_fault_*, encag_transport_*).
+const (
+	// MetricWindow is the configured in-flight window size.
+	MetricWindow = "encag_sched_window"
+	// MetricWindowInFlight is how many Start operations hold a slot.
+	MetricWindowInFlight = "encag_sched_window_inflight"
+	// MetricWindowWaits counts Start calls that blocked on a full window.
+	MetricWindowWaits = "encag_sched_window_waits_total"
+)

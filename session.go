@@ -76,6 +76,8 @@ type sessionOptions struct {
 	profileSet  bool
 	maxInFlight int
 	maxSet      bool
+	debugAddr   string
+	debugSet    bool
 }
 
 // Option configures OpenSession or an individual Session operation.
@@ -119,6 +121,17 @@ func WithMaxInFlight(n int) Option {
 	return func(o *sessionOptions) { o.maxInFlight, o.maxSet = n, true }
 }
 
+// WithDebugServer starts an HTTP introspection server alongside the
+// session (session-level only), serving the session's live metrics in
+// Prometheus text format at /metrics, an expvar-style JSON dump at
+// /debug/vars, and the standard net/http/pprof profiling endpoints
+// under /debug/pprof/. addr is a listen address like "127.0.0.1:9090";
+// empty selects an ephemeral loopback port — read the bound address
+// back with Session.DebugAddr. The server shuts down with the session.
+func WithDebugServer(addr string) Option {
+	return func(o *sessionOptions) { o.debugAddr, o.debugSet = addr, true }
+}
+
 func applyOpts(opts []Option) *sessionOptions {
 	o := &sessionOptions{}
 	for _, fn := range opts {
@@ -140,6 +153,9 @@ func opLevel(opts []Option) (*sessionOptions, error) {
 	}
 	if o.maxSet {
 		return nil, errors.New("encag: WithMaxInFlight is a session-level option; pass it to OpenSession")
+	}
+	if o.debugSet {
+		return nil, errors.New("encag: WithDebugServer is a session-level option; pass it to OpenSession")
 	}
 	return o, nil
 }
@@ -170,6 +186,7 @@ type Session struct {
 	plan   *FaultPlan // session-level default
 	inner  *cluster.Session
 	nb     *sched.Scheduler[*RunResult] // nonblocking in-flight window
+	dbg    *debugServer                 // nil unless WithDebugServer
 }
 
 // OpenSession validates the spec, stands up the persistent engine state
@@ -206,14 +223,32 @@ func OpenSession(ctx context.Context, spec Spec, opts ...Option) (*Session, erro
 	if eng == "" {
 		eng = EngineChan
 	}
-	return &Session{
+	s := &Session{
 		spec:   spec,
 		cs:     cs,
 		engine: eng,
 		plan:   o.plan,
 		inner:  inner,
 		nb:     sched.New[*RunResult](o.maxInFlight),
-	}, nil
+	}
+	// The nonblocking window lives in this layer, so its metrics are
+	// registered here, into the same registry the cluster session fills.
+	reg := inner.Metrics()
+	reg.GaugeFunc(MetricWindow, "Nonblocking in-flight window size (WithMaxInFlight).",
+		func() int64 { return int64(s.nb.MaxInFlight()) })
+	reg.GaugeFunc(MetricWindowInFlight, "Nonblocking operations currently holding a window slot.",
+		func() int64 { return int64(s.nb.InFlight()) })
+	reg.CounterFunc(MetricWindowWaits, "Start calls that found the window full and blocked.",
+		s.nb.WindowWaits)
+	if o.debugSet {
+		dbg, err := startDebugServer(o.debugAddr, reg)
+		if err != nil {
+			inner.Close()
+			return nil, err
+		}
+		s.dbg = dbg
+	}
+	return s, nil
 }
 
 // Engine returns the session's execution backend.
@@ -238,7 +273,37 @@ func (s *Session) Rekey() error { return s.inner.Rekey() }
 // nil.
 func (s *Session) Close() error {
 	s.nb.Close()
+	if s.dbg != nil {
+		s.dbg.close()
+	}
 	return s.inner.Close()
+}
+
+// Metrics returns the session's live metrics registry: atomic counters,
+// gauges and latency/size histograms updated by the runtime while
+// collectives execute. Expose it with WritePrometheus or ExpvarFunc, or
+// read a typed view with Snapshot.
+func (s *Session) Metrics() *MetricsRegistry { return s.inner.Metrics() }
+
+// Snapshot reads the session's live metrics into one typed view,
+// including the nonblocking window state. Safe to call at any time,
+// including while collectives are in flight.
+func (s *Session) Snapshot() MetricsSnapshot {
+	snap := s.inner.Snapshot()
+	snap.Window = s.nb.MaxInFlight()
+	snap.WindowInFlight = s.nb.InFlight()
+	snap.WindowWaits = s.nb.WindowWaits()
+	return snap
+}
+
+// DebugAddr returns the bound address of the session's debug HTTP
+// server ("" when WithDebugServer was not used). With an ephemeral
+// listen address this is how callers learn the port.
+func (s *Session) DebugAddr() string {
+	if s.dbg == nil {
+		return ""
+	}
+	return s.dbg.addr
 }
 
 // WireReport is the byte-level view an inter-node eavesdropper got of an
@@ -315,6 +380,7 @@ func (s *Session) runResult(res *cluster.RealResult, sizes []int64, msgSize int6
 		IntraMessages: res.Audit.IntraMsgs,
 		Violations:    append([]string(nil), res.Audit.Violations...),
 		Elapsed:       res.Elapsed,
+		OpID:          res.OpID,
 	}
 	for r, msg := range res.Results {
 		var payloads [][]byte
