@@ -35,6 +35,8 @@ func main() {
 	algName := flag.String("alg", "hs2", "algorithm name (see encag-explore)")
 	sizeStr := flag.String("size", "64KB", "message size")
 	window := flag.Int("window", 4, "nonblocking in-flight window")
+	pipeline := flag.Bool("pipeline", false, "stream sealed segments onto the wire inside each collective")
+	segWindow := flag.Int("segwindow", 0, "in-flight segment window per stream (0 = default; implies -pipeline)")
 	interval := flag.Duration("interval", 0, "pause between Start calls (0 = rely on window backpressure)")
 	duration := flag.Duration("duration", 0, "how long to run (0 = until SIGINT)")
 	addr := flag.String("addr", "", "debug server listen address (empty = ephemeral loopback port)")
@@ -58,15 +60,25 @@ func main() {
 	}
 
 	spec := encag.Spec{Procs: *p, Nodes: *nodes, Mapping: *mapping}
-	sess, err := encag.OpenSession(context.Background(), spec,
+	opts := []encag.Option{
 		encag.WithEngine(engine),
 		encag.WithMaxInFlight(*window),
-		encag.WithDebugServer(*addr))
+		encag.WithDebugServer(*addr),
+	}
+	if *pipeline || *segWindow > 0 {
+		*pipeline = true
+		opts = append(opts, encag.WithPipelining(true))
+		if *segWindow > 0 {
+			opts = append(opts, encag.WithSegmentWindow(*segWindow))
+		}
+	}
+	sess, err := encag.OpenSession(context.Background(), spec, opts...)
 	if err != nil {
 		fatal(err)
 	}
 	defer sess.Close()
-	fmt.Printf("encag-mon: %s %s p=%d nodes=%d window=%d\n", engine, *algName, *p, *nodes, *window)
+	fmt.Printf("encag-mon: %s %s p=%d nodes=%d window=%d pipeline=%v\n",
+		engine, *algName, *p, *nodes, *window, *pipeline)
 	fmt.Printf("metrics at http://%s/metrics (also /debug/vars, /debug/pprof/)\n", sess.DebugAddr())
 
 	// Issue collectives until the context ends; the in-flight window is
@@ -112,6 +124,11 @@ func main() {
 		snap.WindowWaits, snap.FramesSent, snap.FramesRecv, snap.BytesSent)
 	fmt.Printf("seal: segments sealed=%d opened=%d  pool saturated=%d\n",
 		snap.SegmentsSealed, snap.SegmentsOpened, snap.PoolSaturated)
+	if *pipeline {
+		fmt.Printf("pipeline: streams=%d segments sent=%d recv=%d inline opens=%d window=%d\n",
+			snap.PipelineStreams, snap.PipelineSegmentsSent, snap.PipelineSegmentsRecv,
+			snap.PipelineInlineOpens, snap.PipelineWindow)
+	}
 	if engine == encag.EngineTCP {
 		fmt.Printf("wire: %d bytes  reconnects=%d resends=%d dedup drops=%d\n",
 			snap.WireBytes, snap.Reconnects, snap.Resends, snap.DedupDrops)

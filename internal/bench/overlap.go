@@ -17,6 +17,12 @@ import (
 // idle between its frames — so the windowed columns should beat the
 // serialized one clearly at 1KB and more modestly at 64KB, where the
 // links are already kept busy by a single op.
+//
+// The "+pipe" rows rerun the same batch on sessions opened with
+// WithPipelining(true), so sealed segments stream onto the wire inside
+// each collective. They only appear at sizes past the streaming
+// threshold; comparing a "+pipe" row against its plain counterpart is
+// the pipelined-vs-serial wall-clock study EXPERIMENTS.md documents.
 func Overlap(opts Options) ([]Table, error) {
 	ops := opts.Iters
 	if ops <= 0 {
@@ -28,7 +34,10 @@ func Overlap(opts Options) ([]Table, error) {
 	spec := encag.Spec{Procs: 8, Nodes: 2}
 	const alg = "c-ring"
 	windows := []int{2, 4, 8}
-	szs := trimSizes(sizes("1KB", "64KB"), opts)
+	szs := sizes("1KB", "64KB", "1MB")
+	if opts.Quick {
+		szs = sizes("1KB", "64KB")
+	}
 	t := Table{
 		ID:    "overlap",
 		Title: fmt.Sprintf("Serialized vs multiplexed in-flight all-gathers (%s, p=%d N=%d, %d ops)", alg, spec.Procs, spec.Nodes, ops),
@@ -37,20 +46,34 @@ func Overlap(opts Options) ([]Table, error) {
 		Notes: []string{
 			"serialized: N back-to-back Session.Run calls on one session",
 			"w=k: the same N collectives via Session.Start under WithMaxInFlight(k), then WaitAll",
+			"engine '+pipe' rows open the session with WithPipelining(true): sealed segments stream onto the wire inside each op",
 			"session setup and warm-up are untimed: this is steady-state pipelining, not mesh amortization (see the session experiment)",
 			"wall clock on this host; loopback sockets, real AES-GCM",
 		},
 	}
-	for _, eng := range []encag.Engine{encag.EngineChan, encag.EngineTCP} {
+	variants := []struct {
+		label string
+		eng   encag.Engine
+		piped bool
+	}{
+		{"chan", encag.EngineChan, false},
+		{"chan+pipe", encag.EngineChan, true},
+		{"tcp", encag.EngineTCP, false},
+		{"tcp+pipe", encag.EngineTCP, true},
+	}
+	for _, v := range variants {
 		for _, m := range szs {
-			serialized, err := timeOverlap(eng, spec, alg, m, ops, 1)
+			if v.piped && m < 16<<10 {
+				continue // below the streaming threshold: identical to the plain row
+			}
+			serialized, err := timeOverlap(v.eng, spec, alg, m, ops, 1, v.piped)
 			if err != nil {
 				return nil, err
 			}
-			row := []string{string(eng), SizeName(m), fmt.Sprint(ops), fmtUS(serialized.Seconds())}
+			row := []string{v.label, SizeName(m), fmt.Sprint(ops), fmtUS(serialized.Seconds())}
 			best := serialized
 			for _, w := range windows {
-				d, err := timeOverlap(eng, spec, alg, m, ops, w)
+				d, err := timeOverlap(v.eng, spec, alg, m, ops, w, v.piped)
 				if err != nil {
 					return nil, err
 				}
@@ -70,9 +93,13 @@ func Overlap(opts Options) ([]Table, error) {
 // in-flight window: window 1 issues them serially through Run, larger
 // windows through Start/WaitAll. Open, one warm-up collective and Close
 // stay outside the timed region.
-func timeOverlap(eng encag.Engine, spec encag.Spec, alg string, m int64, ops, window int) (time.Duration, error) {
+func timeOverlap(eng encag.Engine, spec encag.Spec, alg string, m int64, ops, window int, piped bool) (time.Duration, error) {
 	ctx := context.Background()
-	s, err := encag.OpenSession(ctx, spec, encag.WithEngine(eng), encag.WithMaxInFlight(window))
+	sopts := []encag.Option{encag.WithEngine(eng), encag.WithMaxInFlight(window)}
+	if piped {
+		sopts = append(sopts, encag.WithPipelining(true))
+	}
+	s, err := encag.OpenSession(ctx, spec, sopts...)
 	if err != nil {
 		return 0, err
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"encag/internal/block"
@@ -54,8 +55,16 @@ func (a *SecurityAudit) Clean() bool {
 	return a.PlaintextInterMsgs == 0
 }
 
+// envelope is one delivered message in a rank's inbox. seq is the
+// message's delivery-order number within its (operation, src->dst)
+// pair, reserved at delivery (TCP: frame admission; chan: the
+// scheduler's delivery decision). Pipelined streams reserve their
+// number when the stream starts but push only once every segment has
+// opened, so recvFrom consumes each pair's messages in reserved order
+// and an asynchronously completing stream is never overtaken.
 type envelope struct {
 	src int
+	seq uint64
 	msg block.Message
 }
 
@@ -67,10 +76,16 @@ type envelope struct {
 type Adversary func(src, dst int, msg block.Message) block.Message
 
 // chanJob is one message awaiting its turn on a rank's send scheduler.
+// A pipelined send carries a segment stream instead of a materialized
+// message: the scheduler seals, "ships" and opens one segment at a
+// time, overlapping crypto with delivery.
 type chanJob struct {
 	op  *realEngine
 	dst int
 	msg block.Message
+
+	stream *seal.SealStream // non-nil: stream the chunk's segments
+	chunk  block.Chunk      // the streamed chunk (Blocks/Tag for the receive side)
 }
 
 // chanMesh is the persistent transport state of a channel-engine
@@ -120,6 +135,10 @@ func (m *chanMesh) sendLoop(src int) {
 		if e.isAborted() {
 			continue
 		}
+		if job.stream != nil {
+			m.sendStream(src, job)
+			continue
+		}
 		msg := job.msg
 		if e.inj != nil {
 			v := e.inj.SendFrame(src, job.dst)
@@ -130,7 +149,10 @@ func (m *chanMesh) sendLoop(src int) {
 			if v.Drop || v.PartialKeep >= 0 {
 				// The channel transport has no connection to re-establish:
 				// the message is lost in transit and the receiver's bounded
-				// recv deadline turns the loss into a structured error.
+				// recv deadline turns the loss into a structured error. A
+				// dropped message reserves no delivery number, so later
+				// messages of the pair still deliver — the loss starves
+				// exactly the receive that waited for it.
 				continue
 			}
 		}
@@ -146,9 +168,87 @@ func (m *chanMesh) sendLoop(src int) {
 		// point charges both directions of the transport counters.
 		m.lm.countSent(src, job.dst, msg.WireLen())
 		m.lm.countRecv(src, job.dst, msg.WireLen())
-		e.inboxes[job.dst].push(envelope{src: src, msg: msg})
+		e.inboxes[job.dst].push(envelope{src: src, seq: e.nextEnvSeq(src, job.dst), msg: msg})
 		if e.wt.active() {
 			e.wt.emit(src, TraceSend, start, msg.WireLen(), job.dst)
+		}
+	}
+}
+
+// sendStream delivers one pipelined message segment by segment: each
+// segment is sealed on demand, copied into the receive stream's slot
+// (the channel transport's "wire") and handed to the bounded open
+// window, so AES-GCM sealing of segment i+1 overlaps authenticating
+// segment i. Fault verdicts apply per segment: a stalled segment delays
+// the stream, a corrupted one flips a byte in the receiver's copy (the
+// sender's blob stays intact, as with a real wire), and a dropped one
+// leaves its slot unfilled — the stream never completes and the
+// receiver's bounded recv deadline turns the loss into a structured
+// error, exactly like a dropped whole message.
+func (m *chanMesh) sendStream(src int, job chanJob) {
+	e := job.op
+	if _, live := m.reg.get(e.id); !live {
+		m.lm.stragglers.Inc()
+		return
+	}
+	st := job.stream
+	k := st.K()
+	os, err := e.slr.NewOpenStream(st.Header(), e.aad(block.EncodeHeader(job.chunk.Blocks)))
+	if err != nil {
+		e.failAsync(&RankError{Rank: src, Peer: job.dst, Op: "seal", Err: err})
+		return
+	}
+	m.lm.pipeStreams.Inc()
+	window := DefaultSegmentWindow
+	if e.pipe != nil {
+		window = e.pipe.window
+	}
+	// Reserve the delivery slot up front so later messages of the pair
+	// cannot overtake the asynchronously completing stream.
+	seq := e.nextEnvSeq(src, job.dst)
+	sr := newStreamRecv(os, job.chunk.Blocks, job.chunk.Tag, window, m.lm,
+		func(c block.Chunk) {
+			e.inboxes[job.dst].push(envelope{src: src, seq: seq, msg: block.Message{Chunks: []block.Chunk{c}}})
+		},
+		func(err error) {
+			e.failAsync(&RankError{Rank: job.dst, Peer: src, Op: "open", Err: err})
+		})
+	for i := 0; i < k; i++ {
+		if e.isAborted() {
+			return
+		}
+		seg, err := st.Segment(i)
+		if err != nil {
+			e.failAsync(&RankError{Rank: src, Peer: job.dst, Op: "seal", Err: err})
+			return
+		}
+		var start float64
+		if e.wt.active() {
+			start = e.wt.now()
+		}
+		corrupt := -1
+		if e.inj != nil {
+			v := e.inj.SendFrame(src, job.dst)
+			e.inj.Sleep(v.Stall)
+			if v.Drop || v.PartialKeep >= 0 {
+				continue // lost in transit: the slot stays unfilled
+			}
+			if v.CorruptAt >= 0 {
+				corrupt = v.CorruptAt % len(seg)
+			}
+		}
+		slot := os.SegmentSlot(i)
+		copy(slot, seg)
+		if corrupt >= 0 {
+			slot[corrupt] ^= 0x40
+		}
+		m.lm.countSent(src, job.dst, int64(len(seg)))
+		m.lm.countRecv(src, job.dst, int64(len(seg)))
+		m.lm.pipeSegmentsSent.Inc()
+		m.lm.pipeSegmentsRecv.Inc()
+		sr.accept(i)
+		if e.wt.active() {
+			e.wt.emit(src, TraceSend, start, int64(len(seg)), job.dst)
 		}
 	}
 }
@@ -176,8 +276,10 @@ type realEngine struct {
 	slr       *seal.Sealer
 	mesh      *chanMesh
 	id        uint32
-	inboxes   []*opInbox          // one unbounded inbox per rank
-	pend      [][][]block.Message // [rank][src] buffered out-of-order arrivals
+	pipe      *pipeCfg                     // nil: pipelining off (or an adversary taps messages)
+	inboxes   []*opInbox                   // one unbounded inbox per rank
+	pend      [][]map[uint64]block.Message // [rank][src] out-of-order arrivals by delivery seq
+	next      [][]uint64                   // [rank][src] next delivery seq expected
 	shm       []*realShm
 	bars      []*realBarrier
 	audit     *SecurityAudit
@@ -188,6 +290,13 @@ type realEngine struct {
 	fails     failState
 	aborted   chan struct{} // closed when any rank fails: unblocks peers
 	abortOnce sync.Once
+	arrSeq    []atomic.Uint64 // [src*P+dst] delivery-order allocator
+}
+
+// nextEnvSeq reserves the next delivery-order number of the src->dst
+// pair within this operation.
+func (e *realEngine) nextEnvSeq(src, dst int) uint64 {
+	return e.arrSeq[src*e.spec.P+dst].Add(1) - 1
 }
 
 // errRunAborted marks the secondary panics of ranks unblocked by abort;
@@ -296,6 +405,14 @@ func (e *realEngine) isend(p *Proc, dst int, msg block.Message) Request {
 	if e.isAborted() {
 		panic(errRunAborted)
 	}
+	if st, c := e.pipe.streamForSend(msg); st != nil {
+		e.mesh.sendQ[p.rank].Push(e.id, chanJob{op: e, dst: dst, stream: st, chunk: c})
+		return realSendReq{}
+	}
+	msg, err := materializeMessage(msg)
+	if err != nil {
+		e.fail(&RankError{Rank: p.rank, Peer: dst, Op: "seal", Err: err})
+	}
 	e.mesh.sendQ[p.rank].Push(e.id, chanJob{op: e, dst: dst, msg: msg})
 	return realSendReq{}
 }
@@ -324,25 +441,34 @@ func (e *realEngine) wait(p *Proc, reqs []Request) []block.Message {
 }
 
 // recvFrom returns the next message from src to rank, buffering messages
-// from other sources that arrive in between. The wait is bounded by the
-// recv deadline: a message that never arrives (lost to a fault, peer
-// death) surfaces as a structured recv error instead of a deadlock.
+// from other sources (or later deliveries from src) that arrive in
+// between. Deliveries of each directed pair are consumed strictly in
+// their reserved order — a pipelined stream completes asynchronously
+// and must not be overtaken by a later whole message. The wait is
+// bounded by the recv deadline: a message that never arrives (lost to a
+// fault, peer death) surfaces as a structured recv error instead of a
+// deadlock.
 func (e *realEngine) recvFrom(rank, src int) block.Message {
 	pend := e.pend[rank]
+	next := e.next[rank]
 	box := e.inboxes[rank]
 	deadline := time.NewTimer(e.recvTO)
 	defer deadline.Stop()
 	for {
-		if len(pend[src]) > 0 {
-			msg := pend[src][0]
-			pend[src] = pend[src][1:]
+		if msg, ok := pend[src][next[src]]; ok {
+			delete(pend[src], next[src])
+			next[src]++
 			return msg
 		}
 		if env, ok := box.pop(); ok {
-			if env.src == src {
+			if env.src == src && env.seq == next[src] {
+				next[src]++
 				return env.msg
 			}
-			pend[env.src] = append(pend[env.src], env.msg)
+			if pend[env.src] == nil {
+				pend[env.src] = make(map[uint64]block.Message)
+			}
+			pend[env.src][env.seq] = env.msg
 			continue
 		}
 		select {
@@ -390,6 +516,10 @@ func (e *realEngine) span(p *Proc, kind TraceKind, n int64) func() {
 }
 
 func (e *realEngine) shmPut(p *Proc, key string, msg block.Message) {
+	msg, err := materializeMessage(msg)
+	if err != nil {
+		e.fail(&RankError{Rank: p.rank, Peer: -1, Op: "seal", Err: err})
+	}
 	s := e.shm[p.Node()]
 	s.mu.Lock()
 	s.m[key] = msg
@@ -415,6 +545,8 @@ func (e *realEngine) nodeBarrier(p *Proc) {
 }
 
 func (e *realEngine) sealer() *seal.Sealer { return e.slr }
+
+func (e *realEngine) pipeline() *pipeCfg { return e.pipe }
 
 // aad binds this operation's id into the AEAD associated data (see
 // appendOpID): concurrent operations share the session key, so the id
@@ -540,15 +672,17 @@ func RunRealV(spec Spec, payloads [][]byte, algo Algorithm) (*RealResult, error)
 // unbounded inboxes, pending buffers, shared memory, barriers and audit
 // for one collective, over a (possibly session-shared) sealer — and
 // registers it as a live operation so the send schedulers route to it.
-func (m *chanMesh) newOp(id uint32, slr *seal.Sealer, adv Adversary, inj *fault.Injector, recvTO time.Duration, tracer Tracer) *realEngine {
+func (m *chanMesh) newOp(id uint32, slr *seal.Sealer, adv Adversary, inj *fault.Injector, recvTO time.Duration, tracer Tracer, pipe *pipeCfg) *realEngine {
 	spec := m.spec
 	e := &realEngine{
 		spec:      spec,
 		slr:       slr,
 		mesh:      m,
 		id:        id,
+		pipe:      pipe,
 		inboxes:   make([]*opInbox, spec.P),
-		pend:      make([][][]block.Message, spec.P),
+		pend:      make([][]map[uint64]block.Message, spec.P),
+		next:      make([][]uint64, spec.P),
 		shm:       make([]*realShm, spec.N),
 		bars:      make([]*realBarrier, spec.N),
 		audit:     &SecurityAudit{},
@@ -557,10 +691,12 @@ func (m *chanMesh) newOp(id uint32, slr *seal.Sealer, adv Adversary, inj *fault.
 		recvTO:    recvTO,
 		wt:        wallTrace{tracer: tracer, op: id},
 		aborted:   make(chan struct{}),
+		arrSeq:    make([]atomic.Uint64, spec.P*spec.P),
 	}
 	for r := 0; r < spec.P; r++ {
 		e.inboxes[r] = newOpInbox()
-		e.pend[r] = make([][]block.Message, spec.P)
+		e.pend[r] = make([]map[uint64]block.Message, spec.P)
+		e.next[r] = make([]uint64, spec.P)
 	}
 	for n := 0; n < spec.N; n++ {
 		e.shm[n] = &realShm{m: make(map[string]block.Message)}

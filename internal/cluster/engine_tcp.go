@@ -131,6 +131,10 @@ type tcpLink struct {
 	// persistent connection serves the interleaved frames of many
 	// concurrent operations, each under its own fault plan.
 	inj atomic.Pointer[fault.Injector]
+	// fw is the link's reusable frame encoder. Only the owning rank's
+	// send scheduler writes frames, so it needs no lock; steady-state
+	// sends reuse its buffer instead of allocating one per frame.
+	fw *wire.FrameWriter
 }
 
 func (l *tcpLink) injProv() *fault.Injector { return l.inj.Load() }
@@ -206,10 +210,17 @@ func (g *seqGate) horizon() uint64 {
 }
 
 // tcpJob is one frame awaiting its turn on a rank's send scheduler.
+// A pipelined send carries a segment stream instead of a materialized
+// message: the scheduler seals and writes one segment sub-frame at a
+// time, overlapping crypto with transport.
 type tcpJob struct {
 	op  *tcpEngine
 	dst int
 	msg block.Message
+
+	stream *seal.SealStream // non-nil: stream the chunk's segments
+	sid    uint32           // per-operation stream id
+	chunk  block.Chunk      // the streamed chunk (Blocks/Tag for metadata)
 }
 
 // tcpMesh is the persistent transport state of a TCP session: one
@@ -240,6 +251,9 @@ type tcpMesh struct {
 	sendersWG sync.WaitGroup
 	readersWG sync.WaitGroup
 	downOnce  sync.Once
+	// scratch recycles buffers for segment payloads that must be read
+	// off a connection but discarded (duplicates, stragglers).
+	scratch *bufRing
 
 	// tracked holds the live readers' progress trackers, so the mesh can
 	// diagnose a reader starved mid-frame by length-field corruption.
@@ -294,6 +308,7 @@ func newTCPMesh(spec Spec, lm *liveMetrics) (*tcpMesh, error) {
 		reg:       newOpRegistry[*tcpEngine](),
 		sendQ:     make([]*sched.FairQueue[tcpJob], spec.P),
 		tracked:   make(map[*readTracker]struct{}),
+		scratch:   newBufRing(4),
 	}
 	for r := 0; r < spec.P; r++ {
 		m.links[r] = make([]*tcpLink, spec.P)
@@ -301,7 +316,7 @@ func newTCPMesh(spec Spec, lm *liveMetrics) (*tcpMesh, error) {
 		for s := 0; s < spec.P; s++ {
 			m.gates[r][s] = &seqGate{}
 			if r != s {
-				m.links[r][s] = &tcpLink{}
+				m.links[r][s] = &tcpLink{fw: wire.NewFrameWriter()}
 			}
 		}
 	}
@@ -487,6 +502,10 @@ func (m *tcpMesh) sendLoop(src int) {
 		}
 		lnk := m.links[src][job.dst]
 		lnk.inj.Store(e.inj)
+		if job.stream != nil {
+			m.sendStream(e, src, lnk, job)
+			continue
+		}
 		seq := lnk.nextSeq()
 		var start float64
 		if e.wt.active() {
@@ -494,22 +513,77 @@ func (m *tcpMesh) sendLoop(src int) {
 		}
 		err := m.sendFrame(e, src, job.dst, lnk, seq, job.msg)
 		if err != nil {
-			if e.isAborted() {
-				continue // gave up because the op unwound mid-retry
-			}
-			var fe *fault.Error
-			if errors.As(err, &fe) {
-				// The op's own fault plan exhausted the retries: fail the
-				// op, leave the mesh (and its other operations) alone.
-				e.failAsync(&RankError{Rank: src, Peer: job.dst, Op: "send", Err: err})
+			if !m.noteSendErr(e, src, job.dst, err) {
 				continue
 			}
-			m.fail(fmt.Errorf("rank %d send to %d: %w", src, job.dst, err))
-			continue
 		}
 		m.lm.countSent(src, job.dst, job.msg.WireLen())
 		if e.wt.active() {
 			e.wt.emit(src, TraceSend, start, job.msg.WireLen(), job.dst)
+		}
+	}
+}
+
+// noteSendErr classifies a failed send, failing the op (fault plans) or
+// the mesh (organic transport death); it reports true when the send in
+// fact succeeded (err nil).
+func (m *tcpMesh) noteSendErr(e *tcpEngine, src, dst int, err error) bool {
+	if err == nil {
+		return true
+	}
+	if e.isAborted() {
+		return false // gave up because the op unwound mid-retry
+	}
+	var fe *fault.Error
+	if errors.As(err, &fe) {
+		// The op's own fault plan exhausted the retries: fail the
+		// op, leave the mesh (and its other operations) alone.
+		e.failAsync(&RankError{Rank: src, Peer: dst, Op: "send", Err: err})
+		return false
+	}
+	m.fail(fmt.Errorf("rank %d send to %d: %w", src, dst, err))
+	return false
+}
+
+// sendStream writes one pipelined message as a run of segment
+// sub-frames, sealing each segment right before it goes on the wire so
+// segment i travels while segment i+1 is still under AES-GCM — and
+// while the receiver is already authenticating segment i-1. Each
+// sub-frame takes its own link sequence number and rides the same
+// reconnect-and-resend recovery as whole-message frames.
+func (m *tcpMesh) sendStream(e *tcpEngine, src int, lnk *tcpLink, job tcpJob) {
+	st := job.stream
+	k := st.K()
+	m.lm.pipeStreams.Inc()
+	for i := 0; i < k; i++ {
+		if e.isAborted() {
+			return
+		}
+		seg, err := st.Segment(i)
+		if err != nil {
+			e.failAsync(&RankError{Rank: src, Peer: job.dst, Op: "seal", Err: err})
+			return
+		}
+		sf := wire.SegFrame{Stream: job.sid, Index: uint32(i), Count: uint32(k), Payload: seg}
+		if i == 0 {
+			// The first sub-frame carries everything the receiver needs
+			// to set its stream up: chunk identity and the segmented
+			// framing header (re-authenticated segment by segment).
+			sf.Meta = &wire.SegMeta{Tag: job.chunk.Tag, Blocks: job.chunk.Blocks, Header: st.Header()}
+		}
+		seq := lnk.nextSeq()
+		var start float64
+		if e.wt.active() {
+			start = e.wt.now()
+		}
+		if err := m.sendSegFrame(e, src, job.dst, lnk, seq, sf); err != nil {
+			m.noteSendErr(e, src, job.dst, err)
+			return
+		}
+		m.lm.countSent(src, job.dst, int64(len(seg)))
+		m.lm.pipeSegmentsSent.Inc()
+		if e.wt.active() {
+			e.wt.emit(src, TraceSend, start, int64(len(seg)), job.dst)
 		}
 	}
 }
@@ -524,6 +598,23 @@ func (m *tcpMesh) sendLoop(src int) {
 // replays, splices and cross-operation deliveries fail closed rather
 // than deliver wrong bytes.
 func (m *tcpMesh) sendFrame(e *tcpEngine, src, dst int, lnk *tcpLink, seq uint64, msg block.Message) error {
+	return m.sendWithRetry(e, src, dst, lnk, func(conn net.Conn) error {
+		return lnk.fw.WriteMsg(conn, src, e.id, seq, msg)
+	})
+}
+
+// sendSegFrame is sendFrame for one segment sub-frame of a pipelined
+// stream; the same dedup/resend argument applies, with the sub-frame's
+// own sequence number standing in for the frame's.
+func (m *tcpMesh) sendSegFrame(e *tcpEngine, src, dst int, lnk *tcpLink, seq uint64, sf wire.SegFrame) error {
+	return m.sendWithRetry(e, src, dst, lnk, func(conn net.Conn) error {
+		return lnk.fw.WriteSeg(conn, src, e.id, seq, sf)
+	})
+}
+
+// sendWithRetry runs one frame write under the reconnect-and-resend
+// recovery loop shared by whole-message frames and segment sub-frames.
+func (m *tcpMesh) sendWithRetry(e *tcpEngine, src, dst int, lnk *tcpLink, write func(net.Conn) error) error {
 	var lastErr error
 	for attempt := 0; attempt <= sendRetries; attempt++ {
 		if attempt > 0 {
@@ -553,7 +644,7 @@ func (m *tcpMesh) sendFrame(e *tcpEngine, src, dst int, lnk *tcpLink, seq uint64
 				continue
 			}
 		}
-		if err := wire.WriteFrame(conn, src, e.id, seq, msg); err != nil {
+		if err := write(conn); err != nil {
 			lastErr = err
 			conn.Close()
 			continue
@@ -658,23 +749,34 @@ func (m *tcpMesh) serveConn(dst int, conn net.Conn) {
 	defer m.untrack(tc)
 	gate := m.gates[dst][src]
 	for {
-		s, opID, seq, msg, err := wire.ReadFrame(tc)
-		tc.frameDone()
+		fr, err := wire.ReadFrameStart(tc)
 		if err != nil {
 			if !connDied(err) {
 				m.fail(fmt.Errorf("frame stream %d->%d corrupted: %v", src, dst, err))
 			}
 			return
 		}
-		if s != src {
-			m.fail(fmt.Errorf("frame on the %d->%d stream claims src %d", src, dst, s))
+		if fr.Src != src {
+			m.fail(fmt.Errorf("frame on the %d->%d stream claims src %d", src, dst, fr.Src))
 			return
 		}
-		if !gate.admit(seq) {
+		if fr.Kind == wire.FrameSeg {
+			// Segment sub-frame: the payload is still on the stream, to
+			// be read straight into the receive stream's segment slot.
+			if err := m.recvSegment(tc, src, dst, gate, fr); err != nil {
+				if !connDied(err) {
+					m.fail(fmt.Errorf("frame stream %d->%d corrupted: %v", src, dst, err))
+				}
+				return
+			}
+			continue
+		}
+		tc.frameDone()
+		if !gate.admit(fr.Seq) {
 			m.lm.dedupDrops.Inc()
 			continue // duplicate of a frame resent over a newer conn
 		}
-		e, ok := m.reg.get(opID)
+		e, ok := m.reg.get(fr.Op)
 		if !ok {
 			m.lm.stragglers.Inc()
 			continue // straggler from a retired operation: dropped
@@ -682,9 +784,75 @@ func (m *tcpMesh) serveConn(dst int, conn net.Conn) {
 		if d := e.inj.ReadDelay(src, dst); d > 0 {
 			e.inj.Sleep(d)
 		}
-		m.lm.countRecv(src, dst, msg.WireLen())
-		e.inboxes[dst].push(envelope{src: src, msg: msg})
+		m.lm.countRecv(src, dst, fr.Msg.WireLen())
+		e.inboxes[dst].push(envelope{src: src, seq: e.nextEnvSeq(src, dst), msg: fr.Msg})
 	}
+}
+
+// recvSegment handles one segment sub-frame: it routes the sub-frame to
+// its operation's receive stream (creating the stream from first-frame
+// metadata), reads the payload directly into the stream's in-blob slot
+// — no staging copy — and hands the filled segment to the bounded open
+// window. Protocol violations inside a parseable sub-frame (unknown
+// stream, duplicate or mis-sized segment) fail the owning operation and
+// discard the payload into recycled scratch, leaving the connection and
+// the mesh's other operations alone; only a read failure (returned) is
+// connection-fatal.
+func (m *tcpMesh) recvSegment(tc *readTracker, src, dst int, gate *seqGate, fr wire.Frame) error {
+	sf := fr.Seg
+	discard := func() error {
+		b := m.scratch.get(sf.PayloadLen)
+		_, err := io.ReadFull(tc, b)
+		m.scratch.put(b)
+		tc.frameDone()
+		return err
+	}
+	if !gate.admit(fr.Seq) {
+		m.lm.dedupDrops.Inc()
+		return discard()
+	}
+	e, ok := m.reg.get(fr.Op)
+	if !ok {
+		m.lm.stragglers.Inc()
+		return discard()
+	}
+	key := streamKey{src: src, dst: dst, id: sf.Stream}
+	sr := e.streams.get(key)
+	if sr == nil {
+		if sf.Meta == nil {
+			// The stream's state is gone — it failed earlier, or its
+			// metadata sub-frame was lost to a fault. Its sub-frames are
+			// stragglers: dropped, and the starved receive times out.
+			m.lm.stragglers.Inc()
+			return discard()
+		}
+		var err error
+		if sr, err = e.newStreamRecv(src, dst, key, sf); err != nil {
+			e.failAsync(&RankError{Rank: dst, Peer: src, Op: "recv", Err: err})
+			return discard()
+		}
+	}
+	if int(sf.Count) != sr.os.K() || sf.PayloadLen != sr.os.SegmentLen(int(sf.Index)) {
+		e.failAsync(&RankError{Rank: dst, Peer: src, Op: "recv",
+			Err: fmt.Errorf("segment %d/%d of stream %d malformed", sf.Index, sf.Count, sf.Stream)})
+		return discard()
+	}
+	if sr.markSeen(int(sf.Index)) {
+		e.failAsync(&RankError{Rank: dst, Peer: src, Op: "recv",
+			Err: fmt.Errorf("segment %d of stream %d duplicated", sf.Index, sf.Stream)})
+		return discard()
+	}
+	if _, err := io.ReadFull(tc, sr.os.SegmentSlot(int(sf.Index))); err != nil {
+		return err
+	}
+	tc.frameDone()
+	if d := e.inj.ReadDelay(src, dst); d > 0 {
+		e.inj.Sleep(d)
+	}
+	m.lm.countRecv(src, dst, int64(sf.PayloadLen))
+	m.lm.pipeSegmentsRecv.Inc()
+	sr.accept(int(sf.Index))
+	return nil
 }
 
 // tcpEngine is the per-operation execution state layered over a
@@ -699,8 +867,10 @@ type tcpEngine struct {
 	mesh      *tcpMesh
 	id        uint32
 	inj       *fault.Injector
+	pipe      *pipeCfg // nil: pipelining off for this session
 	inboxes   []*opInbox
-	pend      [][][]block.Message
+	pend      [][]map[uint64]block.Message // [rank][src] out-of-order arrivals by delivery seq
+	next      [][]uint64                   // [rank][src] next delivery seq expected
 	shm       []*realShm
 	bars      []*realBarrier
 	audit     *SecurityAudit
@@ -709,29 +879,49 @@ type tcpEngine struct {
 	fails     failState
 	aborted   chan struct{}
 	abortOnce sync.Once
+
+	// streams tracks this operation's in-flight receive streams;
+	// streamSeq allocates sender-side stream ids; arrSeq[src*P+dst]
+	// numbers deliveries per directed pair so that a stream — whose
+	// chunk completes asynchronously, once every segment has opened —
+	// keeps its place in the pair's arrival order.
+	streams   *streamTable
+	streamSeq atomic.Uint32
+	arrSeq    []atomic.Uint64
+}
+
+// nextEnvSeq reserves the next delivery-order number of the src->dst
+// pair within this operation.
+func (e *tcpEngine) nextEnvSeq(src, dst int) uint64 {
+	return e.arrSeq[src*e.spec.P+dst].Add(1) - 1
 }
 
 // newOp builds the engine for one collective and registers it as a live
 // operation, making its op-id routable by the demux.
-func (m *tcpMesh) newOp(id uint32, slr *seal.Sealer, recvTO time.Duration, tracer Tracer, inj *fault.Injector) *tcpEngine {
+func (m *tcpMesh) newOp(id uint32, slr *seal.Sealer, recvTO time.Duration, tracer Tracer, inj *fault.Injector, pipe *pipeCfg) *tcpEngine {
 	e := &tcpEngine{
 		spec:    m.spec,
 		slr:     slr,
 		mesh:    m,
 		id:      id,
 		inj:     inj,
+		pipe:    pipe,
 		inboxes: make([]*opInbox, m.spec.P),
-		pend:    make([][][]block.Message, m.spec.P),
+		pend:    make([][]map[uint64]block.Message, m.spec.P),
+		next:    make([][]uint64, m.spec.P),
 		shm:     make([]*realShm, m.spec.N),
 		bars:    make([]*realBarrier, m.spec.N),
 		audit:   &SecurityAudit{},
 		recvTO:  recvTO,
 		wt:      wallTrace{tracer: tracer, op: id},
 		aborted: make(chan struct{}),
+		streams: newStreamTable(),
+		arrSeq:  make([]atomic.Uint64, m.spec.P*m.spec.P),
 	}
 	for r := 0; r < m.spec.P; r++ {
 		e.inboxes[r] = newOpInbox()
-		e.pend[r] = make([][]block.Message, m.spec.P)
+		e.pend[r] = make([]map[uint64]block.Message, m.spec.P)
+		e.next[r] = make([]uint64, m.spec.P)
 	}
 	for n := 0; n < m.spec.N; n++ {
 		e.shm[n] = &realShm{m: make(map[string]block.Message)}
@@ -739,6 +929,41 @@ func (m *tcpMesh) newOp(id uint32, slr *seal.Sealer, recvTO time.Duration, trace
 	}
 	m.reg.register(id, e)
 	return e
+}
+
+// newStreamRecv sets up the receive side of an incoming segment stream
+// from its first sub-frame's metadata: the open stream (blob and
+// plaintext allocated once), the delivery-order slot the finished chunk
+// will occupy, and the completion/failure hooks. The stream delivers
+// into the operation's inbox only when every segment has authenticated;
+// one bad segment fails the operation closed and the mesh lives on.
+func (e *tcpEngine) newStreamRecv(src, dst int, key streamKey, sf wire.SegFrame) (*streamRecv, error) {
+	os, err := e.slr.NewOpenStream(sf.Meta.Header, e.aad(block.EncodeHeader(sf.Meta.Blocks)))
+	if err != nil {
+		return nil, err
+	}
+	if os.K() != int(sf.Count) {
+		return nil, fmt.Errorf("stream %d header declares %d segments, sub-frame says %d", key.id, os.K(), sf.Count)
+	}
+	window := DefaultSegmentWindow
+	if e.pipe != nil {
+		window = e.pipe.window
+	}
+	// Reserve the delivery slot now: later whole-message frames from the
+	// same sender take later numbers, so the asynchronously completing
+	// stream cannot be overtaken in the receiver's arrival order.
+	seq := e.nextEnvSeq(src, dst)
+	sr := newStreamRecv(os, sf.Meta.Blocks, sf.Meta.Tag, window, e.mesh.lm,
+		func(c block.Chunk) {
+			e.streams.drop(key)
+			e.inboxes[dst].push(envelope{src: src, seq: seq, msg: block.Message{Chunks: []block.Chunk{c}}})
+		},
+		func(err error) {
+			e.streams.drop(key)
+			e.failAsync(&RankError{Rank: dst, Peer: src, Op: "open", Err: err})
+		})
+	e.streams.put(key, sr)
+	return sr, nil
 }
 
 // abort unwinds this operation only: ranks blocked in receives,
@@ -786,11 +1011,22 @@ func (tcpSendReq) isRequest() {}
 
 // isend enqueues the frame on the rank's send scheduler and returns
 // immediately — sends of concurrent operations interleave fairly on the
-// shared links, and a blocked link never stalls the rank goroutine.
+// shared links, and a blocked link never stalls the rank goroutine. A
+// message that qualifies for pipelining (one encrypted chunk, enough
+// segments) is enqueued as a segment stream; anything else is
+// materialized and travels as a whole-message frame.
 func (e *tcpEngine) isend(p *Proc, dst int, msg block.Message) Request {
 	e.audit.record(e.spec, p.rank, dst, msg)
 	if e.isAborted() {
 		panic(errRunAborted)
+	}
+	if st, c := e.pipe.streamForSend(msg); st != nil {
+		e.mesh.sendQ[p.rank].Push(e.id, tcpJob{op: e, dst: dst, stream: st, sid: e.streamSeq.Add(1), chunk: c})
+		return tcpSendReq{}
+	}
+	msg, err := materializeMessage(msg)
+	if err != nil {
+		e.fail(&RankError{Rank: p.rank, Peer: dst, Op: "seal", Err: err})
 	}
 	e.mesh.sendQ[p.rank].Push(e.id, tcpJob{op: e, dst: dst, msg: msg})
 	return tcpSendReq{}
@@ -820,26 +1056,35 @@ func (e *tcpEngine) wait(p *Proc, reqs []Request) []block.Message {
 }
 
 // recvFrom returns the next message from src to rank, buffering messages
-// from other sources that arrive in between. The wait is bounded: a
+// from other sources (or later deliveries from src) that arrive in
+// between. Deliveries of each directed pair are consumed strictly in
+// their reserved order: a pipelined stream completes asynchronously,
+// so a later whole-message frame can land in the inbox first — it is
+// stashed until the stream's slot is filled. The wait is bounded: a
 // frame that never arrives (lost to a fault, peer death) surfaces as a
 // structured recv error after the configured deadline instead of
 // deadlocking.
 func (e *tcpEngine) recvFrom(rank, src int) block.Message {
 	pend := e.pend[rank]
+	next := e.next[rank]
 	box := e.inboxes[rank]
 	deadline := time.NewTimer(e.recvTO)
 	defer deadline.Stop()
 	for {
-		if len(pend[src]) > 0 {
-			msg := pend[src][0]
-			pend[src] = pend[src][1:]
+		if msg, ok := pend[src][next[src]]; ok {
+			delete(pend[src], next[src])
+			next[src]++
 			return msg
 		}
 		if env, ok := box.pop(); ok {
-			if env.src == src {
+			if env.src == src && env.seq == next[src] {
+				next[src]++
 				return env.msg
 			}
-			pend[env.src] = append(pend[env.src], env.msg)
+			if pend[env.src] == nil {
+				pend[env.src] = make(map[uint64]block.Message)
+			}
+			pend[env.src][env.seq] = env.msg
 			continue
 		}
 		select {
@@ -859,6 +1104,10 @@ func (e *tcpEngine) span(p *Proc, kind TraceKind, n int64) func() {
 }
 
 func (e *tcpEngine) shmPut(p *Proc, key string, msg block.Message) {
+	msg, err := materializeMessage(msg)
+	if err != nil {
+		e.fail(&RankError{Rank: p.rank, Peer: -1, Op: "seal", Err: err})
+	}
 	s := e.shm[p.Node()]
 	s.mu.Lock()
 	s.m[key] = msg
@@ -884,6 +1133,8 @@ func (e *tcpEngine) nodeBarrier(p *Proc) {
 }
 
 func (e *tcpEngine) sealer() *seal.Sealer { return e.slr }
+
+func (e *tcpEngine) pipeline() *pipeCfg { return e.pipe }
 
 // aad binds this operation's id into the AEAD associated data, so a
 // frame whose op-id was corrupted on the wire into another live

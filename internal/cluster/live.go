@@ -36,6 +36,14 @@ const (
 	MetricFramesRecv     = "encag_transport_frames_recv_total"
 	MetricBytesSent      = "encag_transport_bytes_sent_total"
 	MetricBytesRecv      = "encag_transport_bytes_recv_total"
+
+	MetricPipeStreams        = "encag_pipeline_streams_total"
+	MetricPipeSegmentsSent   = "encag_pipeline_segments_sent_total"
+	MetricPipeSegmentsRecv   = "encag_pipeline_segments_recv_total"
+	MetricPipeInlineOpens    = "encag_pipeline_inline_opens_total"
+	MetricPipePendingOpens   = "encag_pipeline_pending_opens"
+	MetricPipeWindow         = "encag_pipeline_segment_window"
+	MetricPipeStreamSegments = "encag_pipeline_stream_segments"
 )
 
 // faultKinds spans the fault.Kind enum for the per-kind counters.
@@ -76,6 +84,14 @@ type liveMetrics struct {
 	framesRecv      [][]*metrics.Counter
 	bytesSent       [][]*metrics.Counter
 	bytesRecv       [][]*metrics.Counter
+
+	pipeStreams        *metrics.Counter
+	pipeSegmentsSent   *metrics.Counter
+	pipeSegmentsRecv   *metrics.Counter
+	pipeInlineOpens    *metrics.Counter
+	pipePendingOpens   *metrics.Gauge
+	pipeWindow         *metrics.Gauge
+	pipeStreamSegments *metrics.Histogram
 }
 
 // newLiveMetrics registers the session's static families on reg and
@@ -105,6 +121,14 @@ func newLiveMetrics(reg *metrics.Registry, spec Spec, kind EngineKind) *liveMetr
 	lm.dedupDrops = reg.Counter(MetricDedupDrops, "Duplicate frames dropped by the sequence gates.")
 	lm.recvTimeouts = reg.Counter(MetricRecvTimeouts, "Receives that hit the per-wait deadline.")
 	lm.stragglers = reg.Counter(MetricStragglers, "Frames of retired operations dropped by the demux.")
+
+	lm.pipeStreams = reg.Counter(MetricPipeStreams, "Segment streams started by the pipelined send path.")
+	lm.pipeSegmentsSent = reg.Counter(MetricPipeSegmentsSent, "Sealed segments put on the wire by pipelined sends.")
+	lm.pipeSegmentsRecv = reg.Counter(MetricPipeSegmentsRecv, "Sealed segments delivered into receive streams.")
+	lm.pipeInlineOpens = reg.Counter(MetricPipeInlineOpens, "Segment opens forced inline by a full segment window (backpressure).")
+	lm.pipePendingOpens = reg.Gauge(MetricPipePendingOpens, "Segment opens currently in flight inside receive windows.")
+	lm.pipeWindow = reg.Gauge(MetricPipeWindow, "Configured per-stream in-flight segment window (0: pipelining off).")
+	lm.pipeStreamSegments = reg.Histogram(MetricPipeStreamSegments, "Segments per completed receive stream.")
 
 	lm.framesSentTotal = reg.Counter(MetricFramesSent, "Frames sent, by directed rank pair.")
 	lm.framesRecvTotal = reg.Counter(MetricFramesRecv, "Frames delivered, by directed rank pair.")
@@ -207,6 +231,18 @@ type SessionSnapshot struct {
 	BytesSent  int64
 	BytesRecv  int64
 
+	// Pipeline* fields describe intra-collective segment streaming
+	// (zero everywhere when pipelining is off).
+	PipelineStreams      int64
+	PipelineSegmentsSent int64
+	PipelineSegmentsRecv int64
+	PipelineInlineOpens  int64
+	PipelineWindow       int
+
+	// PipelineStreamSegments distributes segments per completed
+	// receive stream.
+	PipelineStreamSegments metrics.HistSnapshot
+
 	Window         int
 	WindowInFlight int
 	WindowWaits    int64
@@ -260,6 +296,12 @@ func (s *Session) Snapshot() SessionSnapshot {
 	snap.FramesRecv = lm.framesRecvTotal.Value()
 	snap.BytesSent = lm.bytesSentTotal.Value()
 	snap.BytesRecv = lm.bytesRecvTotal.Value()
+	snap.PipelineStreams = lm.pipeStreams.Value()
+	snap.PipelineSegmentsSent = lm.pipeSegmentsSent.Value()
+	snap.PipelineSegmentsRecv = lm.pipeSegmentsRecv.Value()
+	snap.PipelineInlineOpens = lm.pipeInlineOpens.Value()
+	snap.PipelineWindow = int(lm.pipeWindow.Value())
+	snap.PipelineStreamSegments = lm.pipeStreamSegments.Snapshot()
 	if s.mesh != nil {
 		snap.WireBytes = s.mesh.sniffer.Total()
 	}

@@ -1,0 +1,283 @@
+// Intra-collective pipelining: the chan and tcp engines can overlap
+// crypto with transport inside one operation by streaming a chunk's
+// sealed segments onto the wire one at a time (internal/seal's
+// SealStream/OpenStream, internal/wire's segment sub-frames). This file
+// holds the engine-shared pieces: the pipelining configuration, the
+// receive-side stream assembly with its bounded open window, the
+// in-flight stream table of the TCP demux, and the scratch-buffer ring
+// that keeps discarded payloads from allocating.
+package cluster
+
+import (
+	"sync"
+
+	"encag/internal/block"
+	"encag/internal/seal"
+)
+
+const (
+	// DefaultSegmentWindow is the receive-side in-flight segment window:
+	// how many segments of one stream may be opening concurrently before
+	// further arrivals are opened inline on the transport goroutine —
+	// which stops it reading, exerting backpressure on the sender.
+	DefaultSegmentWindow = 4
+	// defaultMinStreamBytes is the smallest chunk plaintext worth
+	// streaming; below it the fixed per-sub-frame overhead outweighs the
+	// overlap.
+	defaultMinStreamBytes = 16 << 10
+)
+
+// pipeCfg is an engine's resolved pipelining configuration; a nil
+// *pipeCfg means segment streaming is off.
+type pipeCfg struct {
+	window    int
+	minStream int64
+}
+
+// resolvePipe turns the public PipelineConfig into the engine's resolved
+// form, or nil when pipelining is off.
+func resolvePipe(pc PipelineConfig) *pipeCfg {
+	if !pc.Enabled {
+		return nil
+	}
+	cfg := &pipeCfg{window: pc.SegmentWindow, minStream: pc.MinStreamBytes}
+	if cfg.window <= 0 {
+		cfg.window = DefaultSegmentWindow
+	}
+	if cfg.minStream <= 0 {
+		cfg.minStream = defaultMinStreamBytes
+	}
+	return cfg
+}
+
+// streamForSend decides whether msg qualifies for segment streaming: a
+// single encrypted chunk that either carries a pending SealStream from
+// Encrypt or is a forwarded segmented blob big enough to re-stream
+// along its existing segment boundaries. Returns the stream and the
+// chunk, or a nil stream.
+func (pc *pipeCfg) streamForSend(msg block.Message) (*seal.SealStream, block.Chunk) {
+	if pc == nil || len(msg.Chunks) != 1 {
+		return nil, block.Chunk{}
+	}
+	c := msg.Chunks[0]
+	if !c.Enc {
+		return nil, block.Chunk{}
+	}
+	if c.Stream != nil {
+		return c.Stream, c
+	}
+	if c.Payload == nil || int64(len(c.Payload)) < pc.minStream {
+		return nil, block.Chunk{}
+	}
+	st, err := seal.StreamFromBlob(c.Payload)
+	if err != nil || st.K() < 2 {
+		return nil, block.Chunk{}
+	}
+	return st, c
+}
+
+// materializeMessage forces any lazily-sealed chunk to its blob form so
+// the message can travel the non-streaming paths (whole-message frames,
+// shared memory, local delivery). The chunk slice is copied only when a
+// pending stream is actually present.
+func materializeMessage(msg block.Message) (block.Message, error) {
+	for i, c := range msg.Chunks {
+		if c.Stream == nil {
+			continue
+		}
+		out := msg
+		out.Chunks = append([]block.Chunk(nil), msg.Chunks...)
+		for j := i; j < len(out.Chunks); j++ {
+			cj := &out.Chunks[j]
+			if cj.Stream == nil {
+				continue
+			}
+			blob, err := cj.Stream.Blob()
+			if err != nil {
+				return msg, err
+			}
+			cj.Payload = blob
+			cj.Stream = nil
+		}
+		return out, nil
+	}
+	return msg, nil
+}
+
+// streamKey identifies one in-flight receive stream on the TCP demux:
+// stream ids are allocated per sending engine, so the (src, dst, id)
+// triple is unique among live streams.
+type streamKey struct {
+	src, dst int
+	id       uint32
+}
+
+// streamTable tracks the in-flight receive streams of a TCP mesh.
+type streamTable struct {
+	mu sync.Mutex
+	m  map[streamKey]*streamRecv
+}
+
+func newStreamTable() *streamTable {
+	return &streamTable{m: make(map[streamKey]*streamRecv)}
+}
+
+func (t *streamTable) get(k streamKey) *streamRecv {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[k]
+}
+
+func (t *streamTable) put(k streamKey, sr *streamRecv) {
+	t.mu.Lock()
+	t.m[k] = sr
+	t.mu.Unlock()
+}
+
+func (t *streamTable) drop(k streamKey) {
+	t.mu.Lock()
+	delete(t.m, k)
+	t.mu.Unlock()
+}
+
+// streamRecv assembles one incoming segment stream: the transport fills
+// segment slots as sub-frames land and calls accept, which opens
+// (authenticates + decrypts) each segment — up to window of them
+// concurrently. Arrivals beyond the window are opened inline on the
+// transport goroutine, which stops it reading and so backpressures the
+// sender through TCP flow control (the chan engine shifts the work onto
+// its send loop, bounding the same way). The first authentication
+// failure fails the whole stream closed; once every segment has opened,
+// the assembled chunk — blob and pre-opened plaintext — is delivered.
+type streamRecv struct {
+	os      *seal.OpenStream
+	blocks  []block.Block
+	tag     int
+	window  int
+	lm      *liveMetrics
+	deliver func(block.Chunk)
+	fail    func(error)
+
+	mu      sync.Mutex
+	seen    []bool
+	pending int
+	done    int
+	failed  bool
+}
+
+func newStreamRecv(os *seal.OpenStream, blocks []block.Block, tag, window int,
+	lm *liveMetrics, deliver func(block.Chunk), fail func(error)) *streamRecv {
+	return &streamRecv{
+		os:      os,
+		blocks:  blocks,
+		tag:     tag,
+		window:  window,
+		lm:      lm,
+		deliver: deliver,
+		fail:    fail,
+		seen:    make([]bool, os.K()),
+	}
+}
+
+// markSeen records segment i's arrival, reporting whether it is a
+// duplicate (a protocol violation: the sequence gates already dedup
+// transport-level resends).
+func (sr *streamRecv) markSeen(i int) (dup bool) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if sr.seen[i] {
+		return true
+	}
+	sr.seen[i] = true
+	return false
+}
+
+// accept hands the filled segment i to the open machinery. The caller
+// must have fully filled SegmentSlot(i) first; a slot is filled and
+// opened by exactly one accept call (markSeen enforces that), so
+// distinct segments proceed concurrently on disjoint slots.
+func (sr *streamRecv) accept(i int) {
+	sr.mu.Lock()
+	if sr.failed {
+		sr.mu.Unlock()
+		return
+	}
+	if sr.pending < sr.window {
+		sr.pending++
+		sr.mu.Unlock()
+		if sr.lm != nil {
+			sr.lm.pipePendingOpens.Inc()
+		}
+		go sr.open(i, true)
+		return
+	}
+	sr.mu.Unlock()
+	if sr.lm != nil {
+		sr.lm.pipeInlineOpens.Inc()
+	}
+	sr.open(i, false)
+}
+
+func (sr *streamRecv) open(i int, async bool) {
+	err := sr.os.OpenSegment(i)
+	if async && sr.lm != nil {
+		sr.lm.pipePendingOpens.Dec()
+	}
+	sr.mu.Lock()
+	if async {
+		sr.pending--
+	}
+	if sr.failed {
+		sr.mu.Unlock()
+		return
+	}
+	if err != nil {
+		sr.failed = true
+		sr.mu.Unlock()
+		sr.fail(err)
+		return
+	}
+	sr.done++
+	complete := sr.done == sr.os.K()
+	sr.mu.Unlock()
+	if !complete {
+		return
+	}
+	if sr.lm != nil {
+		sr.lm.pipeStreamSegments.Observe(int64(sr.os.K()))
+	}
+	sr.deliver(block.Chunk{
+		Enc:     true,
+		Blocks:  sr.blocks,
+		Tag:     sr.tag,
+		Payload: sr.os.Blob(),
+		Opened:  sr.os.Plaintext(),
+	})
+}
+
+// bufRing recycles scratch buffers for payload bytes that must be read
+// off a connection but discarded (duplicates, stragglers), so steady
+// junk costs no steady allocation.
+type bufRing struct {
+	ch chan []byte
+}
+
+func newBufRing(n int) *bufRing { return &bufRing{ch: make(chan []byte, n)} }
+
+func (r *bufRing) get(n int) []byte {
+	select {
+	case b := <-r.ch:
+		if cap(b) >= n {
+			return b[:n]
+		}
+	default:
+	}
+	return make([]byte, n)
+}
+
+func (r *bufRing) put(b []byte) {
+	select {
+	case r.ch <- b:
+	default:
+	}
+}

@@ -1,0 +1,408 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"encag/internal/block"
+	"encag/internal/fault"
+	"encag/internal/seal"
+)
+
+// pipeSpec/pipeSize: a world and payload large enough that every
+// inter-rank exchange qualifies for segment streaming (64 KiB is well
+// past the default minimum stream size and splits into several
+// segments under any adaptive plan).
+const pipeSize = 64 << 10
+
+// ringEncrypted is the encrypted ring all-gather the pipeline tests
+// drive: every hop re-seals the forwarded chunk, so each of the P-1
+// rounds puts one fresh segment stream per rank on the wire.
+func ringEncrypted(p *Proc, mine block.Message) block.Message {
+	result := mine.Clone()
+	cur := mine
+	next := (p.Rank() + 1) % p.P()
+	prev := (p.Rank() - 1 + p.P()) % p.P()
+	for i := 0; i < p.P()-1; i++ {
+		ct := p.Encrypt(cur.Chunks...)
+		in := p.SendRecv(next, block.Message{Chunks: []block.Chunk{ct}}, prev)
+		cur = p.DecryptAll(in)
+		result = block.Concat(result, cur)
+	}
+	return result
+}
+
+// exchangeEncrypted is the minimal two-rank encrypted exchange used by
+// the fault tests: deterministic frame numbering (rank r's stream to
+// its peer is the pair's only traffic).
+func exchangeEncrypted(p *Proc, mine block.Message) block.Message {
+	other := 1 - p.Rank()
+	ct := p.Encrypt(mine.Chunks...)
+	in := p.SendRecv(other, block.Message{Chunks: []block.Chunk{ct}}, other)
+	return block.Concat(mine, p.DecryptAll(in))
+}
+
+func openPipelined(t *testing.T, spec Spec, kind EngineKind) *Session {
+	t.Helper()
+	s, err := OpenSession(spec, SessionConfig{
+		Engine:   kind,
+		Pipeline: PipelineConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// A pipelined TCP session must deliver byte-exact gathers across
+// reuse, actually stream (the pipeline metric families move), and leak
+// no plaintext onto the wire — segment sub-frames carry only sealed
+// bytes, so the session-lifetime sniffer stays clean.
+func TestPipelineTCPByteExact(t *testing.T) {
+	spec := Spec{P: 4, N: 2, Mapping: BlockMapping}
+	s := openPipelined(t, spec, EngineTCP)
+	defer s.Close()
+	for i := 0; i < 2; i++ {
+		res, err := s.Collective(context.Background(), Op{Algo: ringEncrypted, MsgSize: pipeSize})
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if err := ValidateGather(spec, pipeSize, res.Results, true); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if !res.Audit.Clean() {
+			t.Fatalf("iteration %d: audit violations %v", i, res.Audit.Violations)
+		}
+	}
+	if n := s.lm.pipeStreams.Value(); n == 0 {
+		t.Fatal("no segment streams started: pipelined session fell back to whole-message frames")
+	}
+	sent, recv := s.lm.pipeSegmentsSent.Value(), s.lm.pipeSegmentsRecv.Value()
+	if sent < 2*s.lm.pipeStreams.Value() {
+		t.Fatalf("segments sent %d for %d streams: streams did not split", sent, s.lm.pipeStreams.Value())
+	}
+	if sent != recv {
+		t.Fatalf("segments sent %d != received %d on a clean run", sent, recv)
+	}
+	if w := s.lm.pipeWindow.Value(); w != DefaultSegmentWindow {
+		t.Fatalf("segment window gauge = %d, want %d", w, DefaultSegmentWindow)
+	}
+	if s.Sniffer().Total() == 0 {
+		t.Fatal("sniffer captured nothing")
+	}
+	for r := 0; r < spec.P; r++ {
+		if s.Sniffer().Contains(block.FillPattern(r, pipeSize)) {
+			t.Fatalf("rank %d plaintext visible on the pipelined wire", r)
+		}
+	}
+}
+
+func TestPipelineChanByteExact(t *testing.T) {
+	spec := Spec{P: 4, N: 2, Mapping: CyclicMapping}
+	s := openPipelined(t, spec, EngineChan)
+	defer s.Close()
+	for i := 0; i < 2; i++ {
+		res, err := s.Collective(context.Background(), Op{Algo: ringEncrypted, MsgSize: pipeSize})
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if err := ValidateGather(spec, pipeSize, res.Results, true); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	if s.lm.pipeStreams.Value() == 0 {
+		t.Fatal("no segment streams started on the chan engine")
+	}
+	if s.lm.pipeSegmentsSent.Value() != s.lm.pipeSegmentsRecv.Value() {
+		t.Fatalf("segments sent %d != received %d on a clean run",
+			s.lm.pipeSegmentsSent.Value(), s.lm.pipeSegmentsRecv.Value())
+	}
+}
+
+// Mixed traffic on one directed pair — a pipelined stream followed by
+// small whole-message frames — must be received in program order even
+// though the stream's chunk completes asynchronously.
+func TestPipelineOrderingUnderMixedTraffic(t *testing.T) {
+	algo := func(p *Proc, mine block.Message) block.Message {
+		other := 1 - p.Rank()
+		ct := p.Encrypt(mine.Chunks...)
+		small := block.NewPlain(p.Rank(), block.FillPattern(p.Rank(), 64))
+		// Stream first, two small plaintext frames right behind it on
+		// the same pair; receives must observe the same order.
+		reqs := []Request{
+			p.Isend(other, block.Message{Chunks: []block.Chunk{ct}}),
+			p.Isend(other, small),
+			p.Isend(other, small),
+		}
+		first := p.Recv(other)
+		if !first.HasCiphertext() {
+			panic("stream overtaken: first receive is not the ciphertext")
+		}
+		for i := 0; i < 2; i++ {
+			if m := p.Recv(other); m.HasCiphertext() {
+				panic("trailing small frame arrived encrypted")
+			}
+		}
+		p.Wait(reqs...)
+		return block.Concat(mine, p.DecryptAll(first))
+	}
+	for _, kind := range []EngineKind{EngineTCP, EngineChan} {
+		spec := Spec{P: 2, N: 2, Mapping: BlockMapping}
+		if kind == EngineChan {
+			spec.N = 1
+		}
+		s := openPipelined(t, spec, kind)
+		res, err := s.Collective(context.Background(), Op{Algo: algo, MsgSize: pipeSize})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := ValidateGather(spec, pipeSize, res.Results, true); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		s.Close()
+	}
+}
+
+// Corrupting one in-flight segment on the TCP wire must fail exactly
+// that operation closed — the receiver's per-segment authentication
+// rejects the bytes — while the mesh survives for the next collective.
+func TestPipelineTCPCorruptSegmentFailsClosed(t *testing.T) {
+	spec := Spec{P: 2, N: 2, Mapping: BlockMapping, RecvTimeout: 5 * time.Second}
+	s := openPipelined(t, spec, EngineTCP)
+	defer s.Close()
+	// Frame 1 on the 0->1 pair is the stream's second segment sub-frame
+	// (no metadata section: its payload starts 37 bytes in), so offset
+	// 100 lands inside the sealed segment bytes.
+	plan := &fault.Plan{Rules: []fault.Rule{
+		{Src: 0, Dst: 1, Frame: 1, Kind: fault.Corrupt, Offset: 100},
+	}}
+	_, err := s.Collective(context.Background(), Op{Algo: exchangeEncrypted, MsgSize: pipeSize, Plan: plan})
+	var re *RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("corrupted segment yielded %v, want a structured rank error", err)
+	}
+	if re.Op != "open" && re.Op != "recv" {
+		t.Fatalf("corrupted segment failed with op %q, want open or recv", re.Op)
+	}
+	if s.Err() != nil {
+		t.Fatalf("segment corruption poisoned the mesh: %v", s.Err())
+	}
+	res, err := s.Collective(context.Background(), Op{Algo: exchangeEncrypted, MsgSize: pipeSize})
+	if err != nil {
+		t.Fatalf("follow-up collective failed: %v", err)
+	}
+	if err := ValidateGather(spec, pipeSize, res.Results, true); err != nil {
+		t.Fatalf("follow-up gather corrupted: %v", err)
+	}
+}
+
+// A dropped segment sub-frame is a transient transport fault: the
+// sender reconnects and resends it, the receiver's sequence gate
+// dedups, and the operation completes byte-exact.
+func TestPipelineTCPDropSegmentRecovers(t *testing.T) {
+	spec := Spec{P: 2, N: 2, Mapping: BlockMapping}
+	s := openPipelined(t, spec, EngineTCP)
+	defer s.Close()
+	plan := &fault.Plan{Rules: []fault.Rule{
+		{Src: 0, Dst: 1, Frame: 2, Kind: fault.Drop},
+	}}
+	res, err := s.Collective(context.Background(), Op{Algo: exchangeEncrypted, MsgSize: pipeSize, Plan: plan})
+	if err != nil {
+		t.Fatalf("dropped segment did not recover: %v", err)
+	}
+	if err := ValidateGather(spec, pipeSize, res.Results, true); err != nil {
+		t.Fatal(err)
+	}
+	if s.lm.reconnects.Value() == 0 {
+		t.Fatal("drop recovered without a reconnect: the fault never fired")
+	}
+}
+
+// The chan transport has no retransmission: a corrupted segment fails
+// authentication, a dropped one starves the stream into the receive
+// deadline. Both fail only their own operation.
+func TestPipelineChanSegmentFaultsFailClosed(t *testing.T) {
+	cases := []struct {
+		name string
+		rule fault.Rule
+		ops  []string
+	}{
+		{"corrupt", fault.Rule{Src: 0, Dst: 1, Frame: 1, Kind: fault.Corrupt, Offset: 1234}, []string{"open"}},
+		{"drop", fault.Rule{Src: 0, Dst: 1, Frame: 1, Kind: fault.Drop}, []string{"recv"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := Spec{P: 2, N: 1, Mapping: BlockMapping, RecvTimeout: 2 * time.Second}
+			s := openPipelined(t, spec, EngineChan)
+			defer s.Close()
+			plan := &fault.Plan{Rules: []fault.Rule{tc.rule}}
+			_, err := s.Collective(context.Background(), Op{Algo: exchangeEncrypted, MsgSize: pipeSize, Plan: plan})
+			var re *RankError
+			if !errors.As(err, &re) {
+				t.Fatalf("%s segment yielded %v, want a structured rank error", tc.name, err)
+			}
+			ok := false
+			for _, op := range tc.ops {
+				ok = ok || re.Op == op
+			}
+			if !ok {
+				t.Fatalf("%s segment failed with op %q, want one of %v", tc.name, re.Op, tc.ops)
+			}
+			res, err := s.Collective(context.Background(), Op{Algo: exchangeEncrypted, MsgSize: pipeSize})
+			if err != nil {
+				t.Fatalf("follow-up collective failed: %v", err)
+			}
+			if err := ValidateGather(spec, pipeSize, res.Results, true); err != nil {
+				t.Fatalf("follow-up gather corrupted: %v", err)
+			}
+		})
+	}
+}
+
+// Random fault plans against pipelined traffic must keep the existing
+// contract: complete byte-exact, fail the op with a structured error,
+// or break the session loudly — never deliver wrong bytes, never hang.
+func TestPipelineTCPRandomPlans(t *testing.T) {
+	spec := Spec{P: 2, N: 2, Mapping: BlockMapping, RecvTimeout: 2 * time.Second}
+	for seed := int64(1); seed <= 5; seed++ {
+		s := openPipelined(t, spec, EngineTCP)
+		res, err := s.Collective(context.Background(), Op{Algo: exchangeEncrypted, MsgSize: pipeSize,
+			Plan: fault.Random(seed, 2, 6)})
+		switch {
+		case err == nil:
+			if verr := ValidateGather(spec, pipeSize, res.Results, true); verr != nil {
+				t.Fatalf("seed %d: completed with wrong bytes: %v", seed, verr)
+			}
+		default:
+			var re *RankError
+			if !errors.As(err, &re) && !errors.Is(err, ErrSessionBroken) {
+				t.Fatalf("seed %d: unstructured failure %v", seed, err)
+			}
+		}
+		s.Close()
+	}
+}
+
+// resolvePipe and streamForSend gate which traffic streams: pipelining
+// must be off by default, apply defaults when enabled, and pass only
+// single-chunk encrypted messages big enough to be worth segmenting.
+func TestPipelineQualification(t *testing.T) {
+	if resolvePipe(PipelineConfig{}) != nil {
+		t.Fatal("pipelining resolved on without being enabled")
+	}
+	pc := resolvePipe(PipelineConfig{Enabled: true})
+	if pc.window != DefaultSegmentWindow || pc.minStream != defaultMinStreamBytes {
+		t.Fatalf("defaults not applied: %+v", pc)
+	}
+	pc = resolvePipe(PipelineConfig{Enabled: true, SegmentWindow: 2, MinStreamBytes: 1 << 20})
+	if pc.window != 2 || pc.minStream != 1<<20 {
+		t.Fatalf("explicit config not honoured: %+v", pc)
+	}
+
+	slr, err := seal.NewRandomSealer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := bytes.Repeat([]byte{7}, 64<<10)
+	st := slr.NewSealStream([][]byte{pt}, []byte("aad"))
+	if st == nil {
+		t.Fatal("seal stream refused a 64KiB payload")
+	}
+	enc := block.Chunk{Enc: true, Stream: st}
+	var nilPC *pipeCfg
+	if got, _ := nilPC.streamForSend(block.Message{Chunks: []block.Chunk{enc}}); got != nil {
+		t.Fatal("nil config streamed")
+	}
+	pc = resolvePipe(PipelineConfig{Enabled: true})
+	if got, _ := pc.streamForSend(block.Message{Chunks: []block.Chunk{enc}}); got != st {
+		t.Fatal("pending seal stream not passed through")
+	}
+	if got, _ := pc.streamForSend(block.Message{Chunks: []block.Chunk{enc, enc}}); got != nil {
+		t.Fatal("multi-chunk message streamed")
+	}
+	if got, _ := pc.streamForSend(block.Message{Chunks: []block.Chunk{{Payload: pt}}}); got != nil {
+		t.Fatal("plaintext chunk streamed")
+	}
+	small := block.Chunk{Enc: true, Payload: make([]byte, 100)}
+	if got, _ := pc.streamForSend(block.Message{Chunks: []block.Chunk{small}}); got != nil {
+		t.Fatal("sub-threshold blob streamed")
+	}
+	// A big pre-sealed blob re-streams along its recorded segment
+	// boundaries (the forwarding path). Pin the split size: the adaptive
+	// plan may seal as one segment on a single-CPU host, and k=1 blobs
+	// rightly refuse to stream.
+	fwdSealer, err := seal.NewRandomSealer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwdSealer.SetSegmentSize(64 << 10)
+	big := bytes.Repeat([]byte{9}, 256<<10)
+	blob, _, err := fwdSealer.SealSegmented([][]byte{big}, []byte("fwd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, _ := pc.streamForSend(block.Message{Chunks: []block.Chunk{{Enc: true, Payload: blob}}})
+	if fwd == nil {
+		t.Fatal("forwarded segmented blob did not re-stream")
+	}
+	if b, err := fwd.Blob(); err != nil || !bytes.Equal(b, blob) {
+		t.Fatalf("re-streamed blob diverged: %v", err)
+	}
+}
+
+// streamRecv assembles out-of-order segment arrivals under a bounded
+// window, detects duplicate indices, and delivers the blob and
+// plaintext only when every segment authenticated.
+func TestStreamRecvAssembly(t *testing.T) {
+	slr, err := seal.NewRandomSealer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slr.SetSegmentSize(8 << 10)
+	pt := block.FillPattern(3, 64<<10)
+	aad := []byte("stream-recv")
+	st := slr.NewSealStream([][]byte{pt}, aad)
+	if st == nil {
+		t.Fatal("no seal stream")
+	}
+	os, err := slr.NewOpenStream(st.Header(), aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := make(chan block.Chunk, 1)
+	failed := make(chan error, 1)
+	sr := newStreamRecv(os, nil, 0, 2, nil,
+		func(c block.Chunk) { delivered <- c },
+		func(err error) { failed <- err })
+	// Fill in reverse order: arrival order must not matter.
+	for i := st.K() - 1; i >= 0; i-- {
+		seg, err := st.Segment(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.markSeen(i) {
+			t.Fatalf("segment %d flagged as duplicate on first arrival", i)
+		}
+		copy(os.SegmentSlot(i), seg)
+		sr.accept(i)
+	}
+	if !sr.markSeen(0) {
+		t.Fatal("duplicate segment not detected")
+	}
+	select {
+	case c := <-delivered:
+		if !bytes.Equal(c.Opened, pt) {
+			t.Fatal("assembled plaintext diverged")
+		}
+		if got, _, err := slr.OpenSegmented(c.Payload, aad); err != nil || !bytes.Equal(got, pt) {
+			t.Fatalf("assembled blob does not open: %v", err)
+		}
+	case err := <-failed:
+		t.Fatalf("clean stream failed: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream never delivered")
+	}
+}

@@ -68,6 +68,28 @@ type SessionConfig struct {
 	// counters up into one exposition; for the callback-backed families
 	// (in-flight, queue depth, pool stats) the last-opened session wins.
 	Metrics *metrics.Registry
+	// Pipeline configures intra-collective pipelining: streaming a
+	// chunk's sealed segments onto the wire as they seal and opening
+	// them as they land, overlapping crypto with transport inside one
+	// operation. Ignored by EngineSim, and disabled on EngineChan
+	// sessions with an Adversary (the tap needs whole messages).
+	Pipeline PipelineConfig
+}
+
+// PipelineConfig selects intra-collective pipelining for a session's
+// chan and tcp engines.
+type PipelineConfig struct {
+	// Enabled turns segment streaming on.
+	Enabled bool
+	// SegmentWindow bounds how many segments of one receive stream may
+	// be authenticating/decrypting concurrently; arrivals beyond it are
+	// opened inline on the transport goroutine, backpressuring the
+	// sender. Zero means DefaultSegmentWindow.
+	SegmentWindow int
+	// MinStreamBytes is the smallest chunk plaintext worth streaming;
+	// smaller chunks travel as whole-message frames. Zero means the
+	// built-in default (16 KiB).
+	MinStreamBytes int64
 }
 
 // Op describes one collective executed on an open Session. Exactly one
@@ -128,6 +150,7 @@ type Session struct {
 
 	opSeq atomic.Uint32 // op-id allocator; ids start at 1
 	lm    *liveMetrics
+	pipe  *pipeCfg // resolved pipelining config; nil when off
 
 	mu       sync.Mutex
 	closed   bool
@@ -166,6 +189,15 @@ func OpenSession(spec Spec, cfg SessionConfig) (*Session, error) {
 		return nil, err
 	}
 	s.slr = slr
+	s.pipe = resolvePipe(cfg.Pipeline)
+	if cfg.Engine == EngineChan && cfg.Adversary != nil {
+		// The adversary taps whole inter-node messages; streaming would
+		// route segments around it, so pipelining yields to the tap.
+		s.pipe = nil
+	}
+	if s.pipe != nil {
+		s.lm.pipeWindow.Set(int64(s.pipe.window))
+	}
 	if cfg.Engine == EngineTCP {
 		mesh, err := newTCPMesh(spec, s.lm)
 		if err != nil {
@@ -454,11 +486,11 @@ func (s *Session) Collective(ctx context.Context, op Op) (*RealResult, error) {
 
 	var run opRun
 	if s.cfg.Engine == EngineTCP {
-		e := s.mesh.newOp(id, slr, s.recvTO, tracer, inj)
+		e := s.mesh.newOp(id, slr, s.recvTO, tracer, inj, s.pipe)
 		defer s.mesh.reg.deregister(id)
 		run = opRun{eng: e, abort: e.abort, fails: &e.fails, audit: e.audit, wt: &e.wt}
 	} else {
-		e := s.cmesh.newOp(id, slr, s.cfg.Adversary, inj, s.recvTO, tracer)
+		e := s.cmesh.newOp(id, slr, s.cfg.Adversary, inj, s.recvTO, tracer, s.pipe)
 		defer s.cmesh.reg.deregister(id)
 		run = opRun{eng: e, abort: e.abort, fails: &e.fails, audit: e.audit, wt: &e.wt}
 	}

@@ -1,0 +1,288 @@
+package seal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// The streaming API emits and consumes the exact segmented framing of
+// SealSegmented/OpenSegmented one segment at a time, so a transport can
+// put segment i on the wire while segment i+1 is still being sealed and
+// authenticate-and-decrypt segments as they land instead of waiting for
+// the whole blob. The bytes are identical to the bulk path — a blob
+// assembled from a stream's segments opens with OpenSegmented and vice
+// versa — and so are the security properties: every segment's AAD binds
+// header || index || caller AAD, so tampering, reordering or splicing
+// individual in-flight segments fails authentication.
+
+// SealStream lazily seals one logical plaintext into a segmented blob.
+// Segment(i) seals in order up to i on demand — straight from the
+// caller's part buffers when a segment lies inside one part, gathering
+// into the blob slot only when it spans parts. Methods are safe for
+// concurrent use (several consumers may stream the same chunk to
+// different destinations); sealing is serialized under a mutex.
+type SealStream struct {
+	s      *Sealer
+	aad    []byte
+	blob   []byte
+	lens   []int64
+	offs   []int64 // start offset of each sealed segment in blob
+	hdrLen int
+
+	mu      sync.Mutex
+	parts   [][]byte // plaintext sources; released once fully sealed
+	poffs   []int64
+	segSize int64
+	sealed  int // watermark: segments [0, sealed) are sealed
+	err     error
+}
+
+// NewSealStream prepares streaming sealing of the concatenation of
+// parts under the streaming segment plan. The part buffers are read
+// lazily: the caller must not mutate them until the last segment has
+// been sealed (Blob, or Segment(K-1)). It returns nil when the plan
+// yields fewer than two segments — streaming a single segment buys
+// nothing, so callers should fall back to SealSegmented.
+func (s *Sealer) NewSealStream(parts [][]byte, aad []byte) *SealStream {
+	offs := partOffsets(parts)
+	total := offs[len(parts)]
+	l := s.streamLayout(total)
+	if l.k < 2 {
+		return nil
+	}
+	blob := make([]byte, SegmentedLen(total, int(l.segSize)))
+	writeSegHeader(blob, l)
+	st := &SealStream{
+		s:       s,
+		aad:     append([]byte(nil), aad...),
+		blob:    blob,
+		lens:    make([]int64, l.k),
+		offs:    make([]int64, l.k),
+		hdrLen:  l.hdrLen,
+		parts:   parts,
+		poffs:   offs,
+		segSize: l.segSize,
+	}
+	for i := 0; i < l.k; i++ {
+		st.lens[i] = l.plainLen(i)
+		st.offs[i] = l.start(i)
+	}
+	return st
+}
+
+// StreamFromBlob wraps an already-sealed segmented blob for
+// re-streaming along its existing segment boundaries — how a forwarded
+// ciphertext travels segment-at-a-time on its next hop without being
+// resealed. Segment slices come straight from blob.
+func StreamFromBlob(blob []byte) (*SealStream, error) {
+	header, lens, _, err := parseSegmented(blob)
+	if err != nil {
+		return nil, err
+	}
+	st := &SealStream{
+		blob:   blob,
+		lens:   lens,
+		offs:   make([]int64, len(lens)),
+		hdrLen: len(header),
+		sealed: len(lens),
+	}
+	off := int64(len(header))
+	for i, n := range lens {
+		st.offs[i] = off
+		off += n + Overhead
+	}
+	return st, nil
+}
+
+// K returns the stream's segment count.
+func (st *SealStream) K() int { return len(st.lens) }
+
+// Total returns the stream's plaintext length.
+func (st *SealStream) Total() int64 {
+	var t int64
+	for _, n := range st.lens {
+		t += n
+	}
+	return t
+}
+
+// Header returns the blob's segmented framing header (magic, count,
+// per-segment lengths). Callers must treat it as read-only.
+func (st *SealStream) Header() []byte { return st.blob[:st.hdrLen] }
+
+// SegmentLen returns the sealed length of segment i.
+func (st *SealStream) SegmentLen(i int) int { return int(st.lens[i]) + Overhead }
+
+// Segment seals segments up to and including i (if not already sealed)
+// and returns segment i's sealed bytes — a slice into the stream's
+// blob, valid for the stream's lifetime. A sealing error is sticky.
+func (st *SealStream) Segment(i int) ([]byte, error) {
+	if i < 0 || i >= len(st.lens) {
+		return nil, fmt.Errorf("seal: stream segment %d out of range [0,%d)", i, len(st.lens))
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.err != nil {
+		return nil, st.err
+	}
+	for st.sealed <= i {
+		j := st.sealed
+		n := st.lens[j]
+		off := st.offs[j]
+		end := off + n + Overhead
+		src := segmentSource(st.parts, st.poffs, int64(j)*st.segSize, n)
+		if src == nil {
+			src = st.blob[off+NonceSize : off+NonceSize+n]
+			gatherRange(src, st.parts, st.poffs, int64(j)*st.segSize)
+		}
+		ap := segAAD(st.blob[:st.hdrLen], j, st.aad)
+		err := st.s.sealInto(st.blob[off:end:end], src, *ap)
+		putBuf(ap)
+		if err != nil {
+			st.err = err
+			return nil, err
+		}
+		st.sealed++
+	}
+	if st.sealed == len(st.lens) {
+		st.parts, st.poffs = nil, nil // release plaintext references
+	}
+	return st.blob[st.offs[i] : st.offs[i]+st.lens[i]+Overhead], nil
+}
+
+// Blob seals any remaining segments and returns the complete segmented
+// blob, byte-identical to what SealSegmented would have produced for
+// the same plaintext and AAD under the same plan.
+func (st *SealStream) Blob() ([]byte, error) {
+	if _, err := st.Segment(len(st.lens) - 1); err != nil {
+		return nil, err
+	}
+	return st.blob, nil
+}
+
+// maxStreamTotal bounds the plaintext size an OpenStream will
+// preallocate from an unauthenticated header (matches the transport's
+// 1 GiB frame ceiling).
+const maxStreamTotal = 1 << 30
+
+// parseSegHeader validates a bare segmented framing header (no
+// payload): magic, count and exact header length, with the declared
+// total bounded before any allocation.
+func parseSegHeader(header []byte) (lens []int64, total int64, err error) {
+	if len(header) < segHeaderFixed {
+		return nil, 0, fmt.Errorf("seal: segment header too short: %d bytes", len(header))
+	}
+	if binary.BigEndian.Uint32(header[0:]) != segMagic {
+		return nil, 0, fmt.Errorf("seal: not a segmented header")
+	}
+	k := binary.BigEndian.Uint32(header[4:])
+	if k == 0 || k > maxSegmentCount {
+		return nil, 0, fmt.Errorf("seal: segment count %d out of range", k)
+	}
+	if int64(len(header)) != int64(segHeaderFixed)+4*int64(k) {
+		return nil, 0, fmt.Errorf("seal: segment header is %d bytes, count %d needs %d",
+			len(header), k, segHeaderFixed+4*k)
+	}
+	lens = make([]int64, k)
+	for i := range lens {
+		lens[i] = int64(binary.BigEndian.Uint32(header[segHeaderFixed+4*i:]))
+		total += lens[i]
+	}
+	if total > maxStreamTotal {
+		return nil, 0, fmt.Errorf("seal: segmented stream declares %d plaintext bytes", total)
+	}
+	return lens, total, nil
+}
+
+// OpenStream incrementally authenticates and decrypts a segmented blob
+// as its segments arrive. The receive buffer (the blob) and plaintext
+// are allocated once from the framing header; SegmentSlot hands the
+// transport the exact in-blob destination for segment i so arriving
+// ciphertext needs no staging copy. Distinct segments may be filled and
+// opened concurrently — slots are disjoint — but each individual
+// segment must be fully filled before it is opened; the caller
+// sequences that (and nothing here re-checks it: an unfilled slot
+// simply fails authentication).
+type OpenStream struct {
+	s      *Sealer
+	aad    []byte
+	blob   []byte
+	pt     []byte
+	lens   []int64
+	offs   []int64
+	ptOffs []int64
+	hdrLen int
+}
+
+// NewOpenStream prepares streaming open of a blob whose framing header
+// is header, under the given AAD. The header is defensively validated
+// (and later re-authenticated segment by segment, like the bulk path).
+func (s *Sealer) NewOpenStream(header, aad []byte) (*OpenStream, error) {
+	lens, total, err := parseSegHeader(header)
+	if err != nil {
+		return nil, err
+	}
+	k := len(lens)
+	blob := make([]byte, int64(len(header))+total+int64(k)*Overhead)
+	copy(blob, header)
+	os := &OpenStream{
+		s:      s,
+		aad:    append([]byte(nil), aad...),
+		blob:   blob,
+		pt:     make([]byte, total),
+		lens:   lens,
+		offs:   make([]int64, k),
+		ptOffs: make([]int64, k),
+		hdrLen: len(header),
+	}
+	off, po := int64(len(header)), int64(0)
+	for i, n := range lens {
+		os.offs[i], os.ptOffs[i] = off, po
+		off += n + Overhead
+		po += n
+	}
+	return os, nil
+}
+
+// K returns the stream's segment count.
+func (os *OpenStream) K() int { return len(os.lens) }
+
+// Total returns the stream's plaintext length.
+func (os *OpenStream) Total() int64 { return int64(len(os.pt)) }
+
+// SegmentLen returns the sealed length of segment i — exactly how many
+// bytes the transport must deliver into SegmentSlot(i).
+func (os *OpenStream) SegmentLen(i int) int { return int(os.lens[i]) + Overhead }
+
+// SegmentSlot returns segment i's destination slot in the blob
+// (nonce || ciphertext || tag) for the transport to fill.
+func (os *OpenStream) SegmentSlot(i int) []byte {
+	return os.blob[os.offs[i] : os.offs[i]+os.lens[i]+Overhead]
+}
+
+// OpenSegment authenticates and decrypts the filled segment i into the
+// stream's plaintext. Any tampered byte, wrong index, wrong AAD or
+// foreign segment fails with ErrAuth.
+func (os *OpenStream) OpenSegment(i int) error {
+	if i < 0 || i >= len(os.lens) {
+		return fmt.Errorf("seal: stream segment %d out of range [0,%d)", i, len(os.lens))
+	}
+	n := os.lens[i]
+	ap := segAAD(os.blob[:os.hdrLen], i, os.aad)
+	dst := os.pt[os.ptOffs[i] : os.ptOffs[i] : os.ptOffs[i]+n]
+	err := os.s.openInto(dst, os.blob[os.offs[i]:os.offs[i]+n+Overhead], *ap)
+	putBuf(ap)
+	if err != nil {
+		return ErrAuth
+	}
+	return nil
+}
+
+// Blob returns the assembled segmented blob. Valid once every slot has
+// been filled.
+func (os *OpenStream) Blob() []byte { return os.blob }
+
+// Plaintext returns the decrypted payload. Valid once every segment has
+// been opened successfully.
+func (os *OpenStream) Plaintext() []byte { return os.pt }

@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"encag/internal/block"
+)
+
+func sampleSeg(meta bool) SegFrame {
+	sf := SegFrame{Stream: 7, Index: 0, Count: 3, Payload: []byte("nonce+ct+tag bytes")}
+	if meta {
+		sf.Meta = &SegMeta{
+			Tag:    -2,
+			Blocks: []block.Block{{Origin: 1, Len: 100}, {Origin: 2, Len: 28}},
+			Header: []byte{0x45, 0x41, 0x47, 0x53, 0, 0, 0, 1, 0, 0, 0, 64},
+		}
+	}
+	return sf
+}
+
+// Segment sub-frames round-trip through the reusable writer, with and
+// without first-sub-frame metadata, interleaved with message frames on
+// the same stream.
+func TestSegFrameRoundTrip(t *testing.T) {
+	fw := NewFrameWriter()
+	var buf bytes.Buffer
+	msg := block.NewPlain(4, []byte("regular message"))
+	if err := fw.WriteSeg(&buf, 3, 9, 100, sampleSeg(true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteMsg(&buf, 3, 9, 101, msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteSeg(&buf, 3, 9, 102, sampleSeg(false)); err != nil {
+		t.Fatal(err)
+	}
+
+	fr, err := ReadFrameStart(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Kind != FrameSeg || fr.Src != 3 || fr.Op != 9 || fr.Seq != 100 {
+		t.Fatalf("first frame: %+v", fr)
+	}
+	sf := fr.Seg
+	if sf.Stream != 7 || sf.Index != 0 || sf.Count != 3 || sf.Meta == nil {
+		t.Fatalf("seg header: %+v", sf)
+	}
+	if sf.Meta.Tag != -2 || len(sf.Meta.Blocks) != 2 || sf.Meta.Blocks[1].Origin != 2 {
+		t.Fatalf("meta: %+v", sf.Meta)
+	}
+	if !bytes.Equal(sf.Meta.Header, sampleSeg(true).Meta.Header) {
+		t.Fatal("segment header bytes differ")
+	}
+	payload := make([]byte, sf.PayloadLen)
+	if _, err := io.ReadFull(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, sampleSeg(true).Payload) {
+		t.Fatalf("payload %q", payload)
+	}
+
+	fr, err = ReadFrameStart(&buf)
+	if err != nil || fr.Kind != FrameMsg || fr.Seq != 101 {
+		t.Fatalf("message frame: %+v, %v", fr, err)
+	}
+	if len(fr.Msg.Chunks) != 1 || !bytes.Equal(fr.Msg.Chunks[0].Payload, []byte("regular message")) {
+		t.Fatalf("message: %+v", fr.Msg)
+	}
+
+	fr, err = ReadFrameStart(&buf)
+	if err != nil || fr.Seg.Meta != nil || fr.Seq != 102 {
+		t.Fatalf("metaless sub-frame: %+v, %v", fr, err)
+	}
+	io.CopyN(io.Discard, &buf, int64(fr.Seg.PayloadLen))
+	if buf.Len() != 0 {
+		t.Fatalf("%d trailing bytes", buf.Len())
+	}
+}
+
+// Malformed sub-frame fields are rejected with ErrBadFrame before any
+// payload-sized allocation.
+func TestSegFrameRejectsMalformed(t *testing.T) {
+	encode := func(mutate func([]byte) []byte) []byte {
+		var buf bytes.Buffer
+		if err := NewFrameWriter().WriteSeg(&buf, 1, 2, 3, sampleSeg(true)); err != nil {
+			t.Fatal(err)
+		}
+		return mutate(buf.Bytes())
+	}
+	cases := map[string][]byte{
+		"zero count": encode(func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[28:], 0) // count field
+			return b
+		}),
+		"index >= count": encode(func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[24:], 3) // index field
+			return b
+		}),
+		"count over limit": encode(func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[28:], maxCount+1)
+			return b
+		}),
+		"bad magic": encode(func(b []byte) []byte {
+			b[3] = 'X'
+			return b
+		}),
+		"block header garbage": encode(func(b []byte) []byte {
+			b[41] ^= 0xFF // inside the encoded block header magic
+			return b
+		}),
+	}
+	for name, data := range cases {
+		if _, err := ReadFrameStart(bytes.NewReader(data)); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+
+	// Oversized payload length declared.
+	big := encode(func(b []byte) []byte { return b })
+	binary.BigEndian.PutUint32(big[len(big)-4-len(sampleSeg(true).Payload):], MaxChunk+1)
+	if _, err := ReadFrameStart(bytes.NewReader(big)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("oversized payload: err = %v", err)
+	}
+
+	// Writer refuses oversized payloads outright.
+	sf := sampleSeg(false)
+	sf.Payload = make([]byte, MaxChunk+1)
+	if err := NewFrameWriter().WriteSeg(io.Discard, 0, 0, 0, sf); err == nil {
+		t.Error("oversized segment written")
+	}
+}
+
+// FrameWriter.WriteMsg is byte-compatible with the legacy WriteFrame.
+func TestFrameWriterMsgCompat(t *testing.T) {
+	msg := block.Message{Chunks: []block.Chunk{
+		{Enc: true, Tag: 5, Blocks: []block.Block{{Origin: 0, Len: 44}}, Payload: make([]byte, 72)},
+	}}
+	var legacy, reused bytes.Buffer
+	if err := WriteFrame(&legacy, 2, 11, 42, msg); err != nil {
+		t.Fatal(err)
+	}
+	fw := NewFrameWriter()
+	for i := 0; i < 3; i++ { // reuse across calls
+		reused.Reset()
+		if err := fw.WriteMsg(&reused, 2, 11, 42, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(legacy.Bytes(), reused.Bytes()) {
+		t.Fatal("FrameWriter.WriteMsg bytes differ from WriteFrame")
+	}
+	if src, op, seq, got, err := ReadFrame(&reused); err != nil || src != 2 || op != 11 || seq != 42 || len(got.Chunks) != 1 {
+		t.Fatalf("decode: src=%d op=%d seq=%d err=%v", src, op, seq, err)
+	}
+}
+
+// FuzzReadFrameStart: arbitrary bytes — including corrupted segment
+// sub-frames — must never panic or over-allocate.
+func FuzzReadFrameStart(f *testing.F) {
+	var seg bytes.Buffer
+	_ = NewFrameWriter().WriteSeg(&seg, 3, 9, 100, sampleSeg(true))
+	f.Add(seg.Bytes())
+	var metaless bytes.Buffer
+	_ = NewFrameWriter().WriteSeg(&metaless, 3, 9, 101, sampleSeg(false))
+	f.Add(metaless.Bytes())
+	var msg bytes.Buffer
+	_ = WriteMessage(&msg, 3, block.NewPlain(0, []byte("seed")))
+	f.Add(msg.Bytes())
+	f.Add([]byte{})
+	// Bit flips across every segment sub-frame header field: stream id
+	// (20-23), index (24-27), count (28-31), flags (32), meta lengths.
+	for _, off := range []int{20, 24, 28, 31, 32, 33, 37, 41} {
+		flip := append([]byte(nil), seg.Bytes()...)
+		flip[off] ^= 0x40
+		f.Add(flip)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		fr, err := ReadFrameStart(r)
+		if err == nil && fr.Kind == FrameSeg {
+			// Consume the payload the way the transport would.
+			io.CopyN(io.Discard, r, int64(fr.Seg.PayloadLen))
+		}
+	})
+}

@@ -85,6 +85,14 @@ func WriteMessageSeq(w io.Writer, src int, seq uint64, msg block.Message) error 
 // earlier revisions called the epoch; the encoding is identical.
 func WriteFrame(w io.Writer, src int, op uint32, seq uint64, msg block.Message) error {
 	bw := bufio.NewWriter(w)
+	if err := writeMsgBody(bw, src, op, seq, msg); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeMsgBody encodes one message frame into bw (no flush).
+func writeMsgBody(bw *bufio.Writer, src int, op uint32, seq uint64, msg block.Message) error {
 	if err := writeU32(bw, magic); err != nil {
 		return err
 	}
@@ -132,7 +140,7 @@ func WriteFrame(w io.Writer, src int, op uint32, seq uint64, msg block.Message) 
 			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 // ReadMessage reads and decodes one frame, discarding the sequence
@@ -163,6 +171,12 @@ func ReadFrame(r io.Reader) (src int, op uint32, seq uint64, msg block.Message, 
 	if m != magic {
 		return 0, 0, 0, msg, fmt.Errorf("%w: bad magic %#x", ErrBadFrame, m)
 	}
+	return readMsgBody(r)
+}
+
+// readMsgBody decodes a message frame after its magic has been
+// consumed.
+func readMsgBody(r io.Reader) (src int, op uint32, seq uint64, msg block.Message, err error) {
 	s, err := readU32(r)
 	if err != nil {
 		return 0, 0, 0, msg, err

@@ -1,0 +1,80 @@
+package encag
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// Pipelined sessions must gather byte-identically to serial ones on
+// both real engines, while actually streaming (the pipeline metric
+// families move) and keeping the TCP wire free of plaintext.
+func TestSessionPipelining(t *testing.T) {
+	spec := Spec{Procs: 4, Nodes: 2}
+	const msgSize = 64 << 10
+	for _, engine := range []Engine{EngineChan, EngineTCP} {
+		serial, err := OpenSession(context.Background(), spec, WithEngine(engine))
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		piped, err := OpenSession(context.Background(), spec, WithEngine(engine),
+			WithPipelining(true), WithSegmentWindow(2))
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		for _, algo := range []string{"o-ring", "hs1"} {
+			want, err := serial.Run(context.Background(), algo, msgSize)
+			if err != nil {
+				t.Fatalf("%s/%s serial: %v", engine, algo, err)
+			}
+			got, err := piped.Run(context.Background(), algo, msgSize)
+			if err != nil {
+				t.Fatalf("%s/%s pipelined: %v", engine, algo, err)
+			}
+			if !got.SecurityOK {
+				t.Fatalf("%s/%s pipelined: security violations %v", engine, algo, got.Violations)
+			}
+			for r := range got.Gathered {
+				for o := range got.Gathered[r] {
+					if !bytes.Equal(got.Gathered[r][o], want.Gathered[r][o]) {
+						t.Fatalf("%s/%s: rank %d origin %d diverges from the serial gather", engine, algo, r, o)
+					}
+				}
+			}
+		}
+		snap := piped.Snapshot()
+		if snap.PipelineStreams == 0 {
+			t.Fatalf("%s: pipelined session never streamed", engine)
+		}
+		if snap.PipelineWindow != 2 {
+			t.Fatalf("%s: segment window gauge = %d, want 2", engine, snap.PipelineWindow)
+		}
+		if snap.PipelineSegmentsSent == 0 || snap.PipelineSegmentsSent != snap.PipelineSegmentsRecv {
+			t.Fatalf("%s: segment counters sent=%d recv=%d", engine,
+				snap.PipelineSegmentsSent, snap.PipelineSegmentsRecv)
+		}
+		if engine == EngineTCP && !piped.WireClean(msgSize) {
+			t.Fatal("plaintext pattern observed on the pipelined wire")
+		}
+		if sn := serial.Snapshot(); sn.PipelineStreams != 0 {
+			t.Fatalf("%s: serial session streamed %d times", engine, sn.PipelineStreams)
+		}
+		serial.Close()
+		piped.Close()
+	}
+}
+
+// Pipelining options are session-level: per-operation use is rejected.
+func TestSessionPipeliningOptionErrors(t *testing.T) {
+	s, err := OpenSession(context.Background(), Spec{Procs: 2, Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(context.Background(), "hs1", 64, WithPipelining(true)); err == nil {
+		t.Fatal("per-op WithPipelining accepted")
+	}
+	if _, err := s.Run(context.Background(), "hs1", 64, WithSegmentWindow(8)); err == nil {
+		t.Fatal("per-op WithSegmentWindow accepted")
+	}
+}

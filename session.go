@@ -78,6 +78,10 @@ type sessionOptions struct {
 	maxSet      bool
 	debugAddr   string
 	debugSet    bool
+	pipelining  bool
+	pipeSet     bool
+	segWindow   int
+	segWinSet   bool
 }
 
 // Option configures OpenSession or an individual Session operation.
@@ -121,6 +125,27 @@ func WithMaxInFlight(n int) Option {
 	return func(o *sessionOptions) { o.maxInFlight, o.maxSet = n, true }
 }
 
+// WithPipelining toggles intra-collective pipelining on the chan and
+// tcp engines (session-level only; default off). When on, a large
+// encrypted send is split into independently sealed segments that go
+// onto the wire one at a time as they seal, and the receiver
+// authenticates each segment as it lands — overlapping AES-GCM work
+// with transport inside a single operation. Tampering with, reordering
+// or splicing any individual segment fails that operation closed, as
+// with whole-message sealing. Ignored by EngineSim.
+func WithPipelining(on bool) Option {
+	return func(o *sessionOptions) { o.pipelining, o.pipeSet = on, true }
+}
+
+// WithSegmentWindow bounds how many segments of one incoming pipelined
+// stream may be authenticating concurrently before further arrivals
+// are processed inline on the transport goroutine, backpressuring the
+// sender (session-level only; n <= 0 selects the default window).
+// Implies nothing unless WithPipelining(true) is also set.
+func WithSegmentWindow(n int) Option {
+	return func(o *sessionOptions) { o.segWindow, o.segWinSet = n, true }
+}
+
 // WithDebugServer starts an HTTP introspection server alongside the
 // session (session-level only), serving the session's live metrics in
 // Prometheus text format at /metrics, an expvar-style JSON dump at
@@ -156,6 +181,12 @@ func opLevel(opts []Option) (*sessionOptions, error) {
 	}
 	if o.debugSet {
 		return nil, errors.New("encag: WithDebugServer is a session-level option; pass it to OpenSession")
+	}
+	if o.pipeSet {
+		return nil, errors.New("encag: WithPipelining is a session-level option; pass it to OpenSession")
+	}
+	if o.segWinSet {
+		return nil, errors.New("encag: WithSegmentWindow is a session-level option; pass it to OpenSession")
 	}
 	return o, nil
 }
@@ -212,6 +243,9 @@ func OpenSession(ctx context.Context, spec Spec, opts ...Option) (*Session, erro
 		}
 	}
 	cfg := cluster.SessionConfig{Engine: kind, Plan: o.plan, Profile: o.profile}
+	if o.pipeSet {
+		cfg.Pipeline = cluster.PipelineConfig{Enabled: o.pipelining, SegmentWindow: o.segWindow}
+	}
 	if o.tracer != nil {
 		cfg.Tracer = o.tracer
 	}
