@@ -125,8 +125,9 @@ func main() {
 	fmt.Printf("seal: segments sealed=%d opened=%d  pool saturated=%d\n",
 		snap.SegmentsSealed, snap.SegmentsOpened, snap.PoolSaturated)
 	if *pipeline {
-		fmt.Printf("pipeline: streams=%d segments sent=%d recv=%d inline opens=%d window=%d\n",
-			snap.PipelineStreams, snap.PipelineSegmentsSent, snap.PipelineSegmentsRecv,
+		fmt.Printf("pipeline: msgs=%d streams=%d inline chunks=%d segments sent=%d recv=%d inline opens=%d window=%d\n",
+			snap.PipelineMsgs, snap.PipelineStreams, snap.PipelineInlineChunks,
+			snap.PipelineSegmentsSent, snap.PipelineSegmentsRecv,
 			snap.PipelineInlineOpens, snap.PipelineWindow)
 	}
 	if engine == encag.EngineTCP {

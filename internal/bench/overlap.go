@@ -23,6 +23,11 @@ import (
 // each collective. They only appear at sizes past the streaming
 // threshold; comparing a "+pipe" row against its plain counterpart is
 // the pipelined-vs-serial wall-clock study EXPERIMENTS.md documents.
+//
+// Beyond the c-ring baseline, the table carries hierarchical rows
+// (hs1, hs2): their inter-node exchanges send multi-chunk messages, so
+// their "+pipe" rows exercise the per-chunk stream interleaving that
+// single-chunk algorithms never reach.
 func Overlap(opts Options) ([]Table, error) {
 	ops := opts.Iters
 	if ops <= 0 {
@@ -32,7 +37,6 @@ func Overlap(opts Options) ([]Table, error) {
 		ops = 6
 	}
 	spec := encag.Spec{Procs: 8, Nodes: 2}
-	const alg = "c-ring"
 	windows := []int{2, 4, 8}
 	szs := sizes("1KB", "64KB", "1MB")
 	if opts.Quick {
@@ -40,13 +44,14 @@ func Overlap(opts Options) ([]Table, error) {
 	}
 	t := Table{
 		ID:    "overlap",
-		Title: fmt.Sprintf("Serialized vs multiplexed in-flight all-gathers (%s, p=%d N=%d, %d ops)", alg, spec.Procs, spec.Nodes, ops),
-		Headers: []string{"engine", "size", "ops",
+		Title: fmt.Sprintf("Serialized vs multiplexed in-flight all-gathers (p=%d N=%d, %d ops)", spec.Procs, spec.Nodes, ops),
+		Headers: []string{"engine", "alg", "size", "ops",
 			"serialized(us)", "w=2(us)", "w=4(us)", "w=8(us)", "best-speedup"},
 		Notes: []string{
 			"serialized: N back-to-back Session.Run calls on one session",
 			"w=k: the same N collectives via Session.Start under WithMaxInFlight(k), then WaitAll",
 			"engine '+pipe' rows open the session with WithPipelining(true): sealed segments stream onto the wire inside each op",
+			"hs1/hs2 rows send multi-chunk inter-node messages, so their '+pipe' rows interleave several per-chunk streams per envelope",
 			"session setup and warm-up are untimed: this is steady-state pipelining, not mesh amortization (see the session experiment)",
 			"wall clock on this host; loopback sockets, real AES-GCM",
 		},
@@ -54,26 +59,35 @@ func Overlap(opts Options) ([]Table, error) {
 	variants := []struct {
 		label string
 		eng   encag.Engine
+		alg   string
 		piped bool
 	}{
-		{"chan", encag.EngineChan, false},
-		{"chan+pipe", encag.EngineChan, true},
-		{"tcp", encag.EngineTCP, false},
-		{"tcp+pipe", encag.EngineTCP, true},
+		{"chan", encag.EngineChan, "c-ring", false},
+		{"chan+pipe", encag.EngineChan, "c-ring", true},
+		{"tcp", encag.EngineTCP, "c-ring", false},
+		{"tcp+pipe", encag.EngineTCP, "c-ring", true},
+		{"chan", encag.EngineChan, "hs1", false},
+		{"chan+pipe", encag.EngineChan, "hs1", true},
+		{"tcp", encag.EngineTCP, "hs1", false},
+		{"tcp+pipe", encag.EngineTCP, "hs1", true},
+		{"chan", encag.EngineChan, "hs2", false},
+		{"chan+pipe", encag.EngineChan, "hs2", true},
+		{"tcp", encag.EngineTCP, "hs2", false},
+		{"tcp+pipe", encag.EngineTCP, "hs2", true},
 	}
 	for _, v := range variants {
 		for _, m := range szs {
 			if v.piped && m < 16<<10 {
 				continue // below the streaming threshold: identical to the plain row
 			}
-			serialized, err := timeOverlap(v.eng, spec, alg, m, ops, 1, v.piped)
+			serialized, err := timeOverlap(v.eng, spec, v.alg, m, ops, 1, v.piped)
 			if err != nil {
 				return nil, err
 			}
-			row := []string{v.label, SizeName(m), fmt.Sprint(ops), fmtUS(serialized.Seconds())}
+			row := []string{v.label, v.alg, SizeName(m), fmt.Sprint(ops), fmtUS(serialized.Seconds())}
 			best := serialized
 			for _, w := range windows {
-				d, err := timeOverlap(v.eng, spec, alg, m, ops, w, v.piped)
+				d, err := timeOverlap(v.eng, spec, v.alg, m, ops, w, v.piped)
 				if err != nil {
 					return nil, err
 				}

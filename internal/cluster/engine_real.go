@@ -76,16 +76,16 @@ type envelope struct {
 type Adversary func(src, dst int, msg block.Message) block.Message
 
 // chanJob is one message awaiting its turn on a rank's send scheduler.
-// A pipelined send carries a segment stream instead of a materialized
-// message: the scheduler seals, "ships" and opens one segment at a
-// time, overlapping crypto with delivery.
+// A pipelined send carries a per-message send plan instead of a
+// materialized message: the scheduler seals, "ships" and opens one
+// segment at a time — interleaving the message's per-chunk streams with
+// its inline chunks — overlapping crypto with delivery.
 type chanJob struct {
 	op  *realEngine
 	dst int
 	msg block.Message
 
-	stream *seal.SealStream // non-nil: stream the chunk's segments
-	chunk  block.Chunk      // the streamed chunk (Blocks/Tag for the receive side)
+	plan *sendPlan // non-nil: stream the message's chunks
 }
 
 // chanMesh is the persistent transport state of a channel-engine
@@ -135,7 +135,7 @@ func (m *chanMesh) sendLoop(src int) {
 		if e.isAborted() {
 			continue
 		}
-		if job.stream != nil {
+		if job.plan != nil {
 			m.sendStream(src, job)
 			continue
 		}
@@ -175,80 +175,117 @@ func (m *chanMesh) sendLoop(src int) {
 	}
 }
 
-// sendStream delivers one pipelined message segment by segment: each
-// segment is sealed on demand, copied into the receive stream's slot
-// (the channel transport's "wire") and handed to the bounded open
-// window, so AES-GCM sealing of segment i+1 overlaps authenticating
-// segment i. Fault verdicts apply per segment: a stalled segment delays
-// the stream, a corrupted one flips a byte in the receiver's copy (the
-// sender's blob stays intact, as with a real wire), and a dropped one
-// leaves its slot unfilled — the stream never completes and the
-// receiver's bounded recv deadline turns the loss into a structured
-// error, exactly like a dropped whole message.
+// sendStream delivers one pipelined message chunk by chunk: each
+// qualifying sealed chunk travels as a per-chunk segment stream —
+// segments sealed on demand, copied into the receive stream's slot (the
+// channel transport's "wire") and handed to the op-wide open window, so
+// AES-GCM sealing of segment i+1 overlaps authenticating segment i —
+// while the remaining chunks are delivered whole into their assembly
+// slots. Fault verdicts apply per segment (and per inline chunk): a
+// stalled one delays the stream, a corrupted one flips a byte in the
+// receiver's copy (the sender's blob stays intact, as with a real
+// wire), and a dropped one leaves its slot unfilled — the message never
+// completes and the receiver's bounded recv deadline turns the loss
+// into a structured error, exactly like a dropped whole message.
 func (m *chanMesh) sendStream(src int, job chanJob) {
 	e := job.op
 	if _, live := m.reg.get(e.id); !live {
 		m.lm.stragglers.Inc()
 		return
 	}
-	st := job.stream
-	k := st.K()
-	os, err := e.slr.NewOpenStream(st.Header(), e.aad(block.EncodeHeader(job.chunk.Blocks)))
-	if err != nil {
-		e.failAsync(&RankError{Rank: src, Peer: job.dst, Op: "seal", Err: err})
-		return
-	}
-	m.lm.pipeStreams.Inc()
-	window := DefaultSegmentWindow
-	if e.pipe != nil {
-		window = e.pipe.window
-	}
+	m.lm.pipeMsgs.Inc()
 	// Reserve the delivery slot up front so later messages of the pair
-	// cannot overtake the asynchronously completing stream.
+	// cannot overtake the asynchronously completing message.
 	seq := e.nextEnvSeq(src, job.dst)
-	sr := newStreamRecv(os, job.chunk.Blocks, job.chunk.Tag, window, m.lm,
-		func(c block.Chunk) {
-			e.inboxes[job.dst].push(envelope{src: src, seq: seq, msg: block.Message{Chunks: []block.Chunk{c}}})
+	mr := newMsgRecv(len(job.plan.chunks),
+		func(msg block.Message) {
+			e.inboxes[job.dst].push(envelope{src: src, seq: seq, msg: msg})
 		},
 		func(err error) {
 			e.failAsync(&RankError{Rank: job.dst, Peer: src, Op: "open", Err: err})
 		})
-	for i := 0; i < k; i++ {
+	for ci, cs := range job.plan.chunks {
 		if e.isAborted() {
 			return
 		}
-		seg, err := st.Segment(i)
+		if cs.stream == nil {
+			// Inline chunk: delivered whole into its assembly slot, under
+			// a chunk-level fault verdict.
+			c := cs.chunk
+			var start float64
+			if e.wt.active() {
+				start = e.wt.now()
+			}
+			payload := c.Payload
+			if e.inj != nil {
+				v := e.inj.SendFrame(src, job.dst)
+				e.inj.Sleep(v.Stall)
+				if v.Drop || v.PartialKeep >= 0 {
+					continue // lost in transit: the slot stays unfilled
+				}
+				if v.CorruptAt >= 0 && len(payload) > 0 {
+					payload = append([]byte(nil), payload...)
+					payload[v.CorruptAt%len(payload)] ^= 0x40
+				}
+			}
+			m.lm.countSent(src, job.dst, int64(len(payload)))
+			m.lm.countRecv(src, job.dst, int64(len(payload)))
+			m.lm.pipeInlineChunks.Inc()
+			mr.setChunk(uint32(ci), block.Chunk{Enc: c.Enc, Blocks: c.Blocks, Tag: c.Tag, Payload: payload})
+			if e.wt.active() {
+				e.wt.emit(src, TraceSend, start, int64(len(payload)), job.dst)
+			}
+			continue
+		}
+		st := cs.stream
+		k := st.K()
+		os, err := e.slr.NewOpenStream(st.Header(), e.aad(block.EncodeHeader(cs.chunk.Blocks)))
 		if err != nil {
 			e.failAsync(&RankError{Rank: src, Peer: job.dst, Op: "seal", Err: err})
 			return
 		}
-		var start float64
-		if e.wt.active() {
-			start = e.wt.now()
-		}
-		corrupt := -1
-		if e.inj != nil {
-			v := e.inj.SendFrame(src, job.dst)
-			e.inj.Sleep(v.Stall)
-			if v.Drop || v.PartialKeep >= 0 {
-				continue // lost in transit: the slot stays unfilled
+		m.lm.pipeStreams.Inc()
+		ci := uint32(ci)
+		sr := newStreamRecv(os, cs.chunk.Blocks, cs.chunk.Tag, e.openWin, m.lm,
+			func(c block.Chunk) { mr.setChunk(ci, c) },
+			func(err error) { mr.failOnce(err) })
+		for i := 0; i < k; i++ {
+			if e.isAborted() {
+				return
 			}
-			if v.CorruptAt >= 0 {
-				corrupt = v.CorruptAt % len(seg)
+			seg, err := st.Segment(i)
+			if err != nil {
+				e.failAsync(&RankError{Rank: src, Peer: job.dst, Op: "seal", Err: err})
+				return
 			}
-		}
-		slot := os.SegmentSlot(i)
-		copy(slot, seg)
-		if corrupt >= 0 {
-			slot[corrupt] ^= 0x40
-		}
-		m.lm.countSent(src, job.dst, int64(len(seg)))
-		m.lm.countRecv(src, job.dst, int64(len(seg)))
-		m.lm.pipeSegmentsSent.Inc()
-		m.lm.pipeSegmentsRecv.Inc()
-		sr.accept(i)
-		if e.wt.active() {
-			e.wt.emit(src, TraceSend, start, int64(len(seg)), job.dst)
+			var start float64
+			if e.wt.active() {
+				start = e.wt.now()
+			}
+			corrupt := -1
+			if e.inj != nil {
+				v := e.inj.SendFrame(src, job.dst)
+				e.inj.Sleep(v.Stall)
+				if v.Drop || v.PartialKeep >= 0 {
+					continue // lost in transit: the slot stays unfilled
+				}
+				if v.CorruptAt >= 0 {
+					corrupt = v.CorruptAt % len(seg)
+				}
+			}
+			slot := os.SegmentSlot(i)
+			copy(slot, seg)
+			if corrupt >= 0 {
+				slot[corrupt] ^= 0x40
+			}
+			m.lm.countSent(src, job.dst, int64(len(seg)))
+			m.lm.countRecv(src, job.dst, int64(len(seg)))
+			m.lm.pipeSegmentsSent.Inc()
+			m.lm.pipeSegmentsRecv.Inc()
+			sr.accept(i)
+			if e.wt.active() {
+				e.wt.emit(src, TraceSend, start, int64(len(seg)), job.dst)
+			}
 		}
 	}
 }
@@ -290,7 +327,10 @@ type realEngine struct {
 	fails     failState
 	aborted   chan struct{} // closed when any rank fails: unblocks peers
 	abortOnce sync.Once
-	arrSeq    []atomic.Uint64 // [src*P+dst] delivery-order allocator
+	// openWin is the op-wide budget of concurrently-opening segments
+	// shared by every per-chunk receive stream of the operation.
+	openWin *openWindow
+	arrSeq  []atomic.Uint64 // [src*P+dst] delivery-order allocator
 }
 
 // nextEnvSeq reserves the next delivery-order number of the src->dst
@@ -405,8 +445,8 @@ func (e *realEngine) isend(p *Proc, dst int, msg block.Message) Request {
 	if e.isAborted() {
 		panic(errRunAborted)
 	}
-	if st, c := e.pipe.streamForSend(msg); st != nil {
-		e.mesh.sendQ[p.rank].Push(e.id, chanJob{op: e, dst: dst, stream: st, chunk: c})
+	if plan := e.pipe.streamsForSend(msg); plan != nil {
+		e.mesh.sendQ[p.rank].Push(e.id, chanJob{op: e, dst: dst, plan: plan})
 		return realSendReq{}
 	}
 	msg, err := materializeMessage(msg)
@@ -693,6 +733,11 @@ func (m *chanMesh) newOp(id uint32, slr *seal.Sealer, adv Adversary, inj *fault.
 		aborted:   make(chan struct{}),
 		arrSeq:    make([]atomic.Uint64, spec.P*spec.P),
 	}
+	window := DefaultSegmentWindow
+	if pipe != nil {
+		window = pipe.window
+	}
+	e.openWin = newOpenWindow(window)
 	for r := 0; r < spec.P; r++ {
 		e.inboxes[r] = newOpInbox()
 		e.pend[r] = make([]map[uint64]block.Message, spec.P)

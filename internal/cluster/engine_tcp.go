@@ -210,17 +210,17 @@ func (g *seqGate) horizon() uint64 {
 }
 
 // tcpJob is one frame awaiting its turn on a rank's send scheduler.
-// A pipelined send carries a segment stream instead of a materialized
-// message: the scheduler seals and writes one segment sub-frame at a
-// time, overlapping crypto with transport.
+// A pipelined send carries a per-message send plan instead of a
+// materialized message: the scheduler seals and writes one segment
+// sub-frame at a time — interleaving the message's per-chunk streams
+// with its inline chunks — overlapping crypto with transport.
 type tcpJob struct {
 	op  *tcpEngine
 	dst int
 	msg block.Message
 
-	stream *seal.SealStream // non-nil: stream the chunk's segments
-	sid    uint32           // per-operation stream id
-	chunk  block.Chunk      // the streamed chunk (Blocks/Tag for metadata)
+	plan *sendPlan // non-nil: stream the message's chunks
+	sid  uint32    // per-operation stream id
 }
 
 // tcpMesh is the persistent transport state of a TCP session: one
@@ -502,7 +502,7 @@ func (m *tcpMesh) sendLoop(src int) {
 		}
 		lnk := m.links[src][job.dst]
 		lnk.inj.Store(e.inj)
-		if job.stream != nil {
+		if job.plan != nil {
 			m.sendStream(e, src, lnk, job)
 			continue
 		}
@@ -546,30 +546,23 @@ func (m *tcpMesh) noteSendErr(e *tcpEngine, src, dst int, err error) bool {
 }
 
 // sendStream writes one pipelined message as a run of segment
-// sub-frames, sealing each segment right before it goes on the wire so
-// segment i travels while segment i+1 is still under AES-GCM — and
-// while the receiver is already authenticating segment i-1. Each
-// sub-frame takes its own link sequence number and rides the same
+// sub-frames: each qualifying sealed chunk becomes a per-chunk segment
+// stream — sealing each segment right before it goes on the wire, so
+// segment i travels while segment i+1 is still under AES-GCM and the
+// receiver is already authenticating segment i-1 — and every other
+// chunk ships whole as a single inline sub-frame of the same envelope
+// sequence. The message's first sub-frame carries the total chunk
+// count; each chunk's first sub-frame carries that chunk's metadata.
+// Every sub-frame takes its own link sequence number and rides the same
 // reconnect-and-resend recovery as whole-message frames.
 func (m *tcpMesh) sendStream(e *tcpEngine, src int, lnk *tcpLink, job tcpJob) {
-	st := job.stream
-	k := st.K()
-	m.lm.pipeStreams.Inc()
-	for i := 0; i < k; i++ {
-		if e.isAborted() {
-			return
-		}
-		seg, err := st.Segment(i)
-		if err != nil {
-			e.failAsync(&RankError{Rank: src, Peer: job.dst, Op: "seal", Err: err})
-			return
-		}
-		sf := wire.SegFrame{Stream: job.sid, Index: uint32(i), Count: uint32(k), Payload: seg}
-		if i == 0 {
-			// The first sub-frame carries everything the receiver needs
-			// to set its stream up: chunk identity and the segmented
-			// framing header (re-authenticated segment by segment).
-			sf.Meta = &wire.SegMeta{Tag: job.chunk.Tag, Blocks: job.chunk.Blocks, Header: st.Header()}
+	m.lm.pipeMsgs.Inc()
+	total := uint32(len(job.plan.chunks))
+	first := true
+	emit := func(sf wire.SegFrame) error {
+		if first {
+			sf.MsgChunks = total
+			first = false
 		}
 		seq := lnk.nextSeq()
 		var start float64
@@ -578,12 +571,58 @@ func (m *tcpMesh) sendStream(e *tcpEngine, src int, lnk *tcpLink, job tcpJob) {
 		}
 		if err := m.sendSegFrame(e, src, job.dst, lnk, seq, sf); err != nil {
 			m.noteSendErr(e, src, job.dst, err)
+			return err
+		}
+		m.lm.countSent(src, job.dst, int64(len(sf.Payload)))
+		if e.wt.active() {
+			e.wt.emit(src, TraceSend, start, int64(len(sf.Payload)), job.dst)
+		}
+		return nil
+	}
+	for ci, cs := range job.plan.chunks {
+		if e.isAborted() {
 			return
 		}
-		m.lm.countSent(src, job.dst, int64(len(seg)))
-		m.lm.pipeSegmentsSent.Inc()
-		if e.wt.active() {
-			e.wt.emit(src, TraceSend, start, int64(len(seg)), job.dst)
+		if cs.stream == nil {
+			// Inline chunk: too small (or plaintext) to stream, shipped
+			// whole inside the message's envelope sequence.
+			c := cs.chunk
+			sf := wire.SegFrame{
+				Stream: job.sid, Chunk: uint32(ci), Index: 0, Count: 1,
+				Inline: true, Enc: c.Enc,
+				Meta:    &wire.SegMeta{Tag: c.Tag, Blocks: c.Blocks},
+				Payload: c.Payload,
+			}
+			if emit(sf) != nil {
+				return
+			}
+			m.lm.pipeInlineChunks.Inc()
+			continue
+		}
+		st := cs.stream
+		k := st.K()
+		m.lm.pipeStreams.Inc()
+		for i := 0; i < k; i++ {
+			if e.isAborted() {
+				return
+			}
+			seg, err := st.Segment(i)
+			if err != nil {
+				e.failAsync(&RankError{Rank: src, Peer: job.dst, Op: "seal", Err: err})
+				return
+			}
+			sf := wire.SegFrame{Stream: job.sid, Chunk: uint32(ci), Index: uint32(i), Count: uint32(k), Payload: seg}
+			if i == 0 {
+				// The chunk's first sub-frame carries everything the
+				// receiver needs to set its per-chunk stream up: chunk
+				// identity and the segmented framing header
+				// (re-authenticated segment by segment).
+				sf.Meta = &wire.SegMeta{Tag: cs.chunk.Tag, Blocks: cs.chunk.Blocks, Header: st.Header()}
+			}
+			if emit(sf) != nil {
+				return
+			}
+			m.lm.pipeSegmentsSent.Inc()
 		}
 	}
 }
@@ -790,14 +829,18 @@ func (m *tcpMesh) serveConn(dst int, conn net.Conn) {
 }
 
 // recvSegment handles one segment sub-frame: it routes the sub-frame to
-// its operation's receive stream (creating the stream from first-frame
-// metadata), reads the payload directly into the stream's in-blob slot
-// — no staging copy — and hands the filled segment to the bounded open
-// window. Protocol violations inside a parseable sub-frame (unknown
-// stream, duplicate or mis-sized segment) fail the owning operation and
-// discard the payload into recycled scratch, leaving the connection and
-// the mesh's other operations alone; only a read failure (returned) is
-// connection-fatal.
+// its operation's in-flight pipelined message (created from the
+// first sub-frame's message metadata), then to the per-chunk receive
+// stream the sub-frame's chunk index selects (created from that chunk's
+// first-frame metadata), reads the payload directly into the stream's
+// in-blob slot — no staging copy — and hands the filled segment to the
+// op-wide open window. Inline sub-frames carry a whole small chunk and
+// are slotted into the message assembly directly. Protocol violations
+// inside a parseable sub-frame (unknown stream, out-of-range chunk,
+// duplicate or mis-sized segment, malformed inline blob) fail the
+// owning operation and discard the payload into recycled scratch,
+// leaving the connection and the mesh's other operations alone; only a
+// read failure (returned) is connection-fatal.
 func (m *tcpMesh) recvSegment(tc *readTracker, src, dst int, gate *seqGate, fr wire.Frame) error {
 	sf := fr.Seg
 	discard := func() error {
@@ -816,31 +859,71 @@ func (m *tcpMesh) recvSegment(tc *readTracker, src, dst int, gate *seqGate, fr w
 		m.lm.stragglers.Inc()
 		return discard()
 	}
+	violate := func(err error) error {
+		e.failAsync(&RankError{Rank: dst, Peer: src, Op: "recv", Err: err})
+		return discard()
+	}
 	key := streamKey{src: src, dst: dst, id: sf.Stream}
-	sr := e.streams.get(key)
-	if sr == nil {
-		if sf.Meta == nil {
-			// The stream's state is gone — it failed earlier, or its
-			// metadata sub-frame was lost to a fault. Its sub-frames are
+	mr := e.streams.get(key)
+	if mr == nil {
+		if sf.MsgChunks == 0 {
+			// The message's state is gone — it failed earlier, or its
+			// first sub-frame was lost to a fault. Its sub-frames are
 			// stragglers: dropped, and the starved receive times out.
 			m.lm.stragglers.Inc()
 			return discard()
 		}
-		var err error
-		if sr, err = e.newStreamRecv(src, dst, key, sf); err != nil {
-			e.failAsync(&RankError{Rank: dst, Peer: src, Op: "recv", Err: err})
+		mr = e.newMsgRecv(src, dst, key, int(sf.MsgChunks))
+	}
+	if sf.Inline {
+		if sf.Meta == nil {
+			return violate(fmt.Errorf("inline chunk %d of stream %d has no metadata", sf.Chunk, sf.Stream))
+		}
+		c := block.Chunk{Enc: sf.Enc, Blocks: sf.Meta.Blocks, Tag: sf.Meta.Tag, Payload: make([]byte, sf.PayloadLen)}
+		if _, err := io.ReadFull(tc, c.Payload); err != nil {
+			return err
+		}
+		tc.frameDone()
+		if d := e.inj.ReadDelay(src, dst); d > 0 {
+			e.inj.Sleep(d)
+		}
+		m.lm.countRecv(src, dst, int64(sf.PayloadLen))
+		if c.Enc {
+			if err := seal.CheckSegmented(c.Payload); err != nil {
+				e.failAsync(&RankError{Rank: dst, Peer: src, Op: "recv",
+					Err: fmt.Errorf("inline chunk %d of stream %d malformed: %w", sf.Chunk, sf.Stream, err)})
+				return nil
+			}
+		} else if int64(len(c.Payload)) != c.PlainLen() {
+			e.failAsync(&RankError{Rank: dst, Peer: src, Op: "recv",
+				Err: fmt.Errorf("inline chunk %d of stream %d: payload %d bytes, header says %d",
+					sf.Chunk, sf.Stream, len(c.Payload), c.PlainLen())})
+			return nil
+		}
+		if !mr.setChunk(sf.Chunk, c) {
+			e.failAsync(&RankError{Rank: dst, Peer: src, Op: "recv",
+				Err: fmt.Errorf("inline chunk %d of stream %d duplicated or out of range", sf.Chunk, sf.Stream)})
+		}
+		return nil
+	}
+	sr := mr.chunkStream(sf.Chunk)
+	if sr == nil {
+		if sf.Meta == nil {
+			// The chunk's stream state is gone or its metadata sub-frame
+			// was lost: stragglers, same as an unknown message.
+			m.lm.stragglers.Inc()
 			return discard()
+		}
+		var err error
+		if sr, err = e.newChunkStream(mr, sf); err != nil {
+			return violate(err)
 		}
 	}
 	if int(sf.Count) != sr.os.K() || sf.PayloadLen != sr.os.SegmentLen(int(sf.Index)) {
-		e.failAsync(&RankError{Rank: dst, Peer: src, Op: "recv",
-			Err: fmt.Errorf("segment %d/%d of stream %d malformed", sf.Index, sf.Count, sf.Stream)})
-		return discard()
+		return violate(fmt.Errorf("segment %d/%d of stream %d chunk %d malformed", sf.Index, sf.Count, sf.Stream, sf.Chunk))
 	}
 	if sr.markSeen(int(sf.Index)) {
-		e.failAsync(&RankError{Rank: dst, Peer: src, Op: "recv",
-			Err: fmt.Errorf("segment %d of stream %d duplicated", sf.Index, sf.Stream)})
-		return discard()
+		return violate(fmt.Errorf("segment %d of stream %d chunk %d duplicated", sf.Index, sf.Stream, sf.Chunk))
 	}
 	if _, err := io.ReadFull(tc, sr.os.SegmentSlot(int(sf.Index))); err != nil {
 		return err
@@ -880,13 +963,16 @@ type tcpEngine struct {
 	aborted   chan struct{}
 	abortOnce sync.Once
 
-	// streams tracks this operation's in-flight receive streams;
-	// streamSeq allocates sender-side stream ids; arrSeq[src*P+dst]
-	// numbers deliveries per directed pair so that a stream — whose
-	// chunk completes asynchronously, once every segment has opened —
-	// keeps its place in the pair's arrival order.
+	// streams tracks this operation's in-flight pipelined messages;
+	// streamSeq allocates sender-side stream ids; openWin is the op-wide
+	// budget of concurrently-opening segments shared by all of the op's
+	// per-chunk receive streams; arrSeq[src*P+dst] numbers deliveries
+	// per directed pair so that a pipelined message — which completes
+	// asynchronously, once every chunk has assembled — keeps its place
+	// in the pair's arrival order.
 	streams   *streamTable
 	streamSeq atomic.Uint32
+	openWin   *openWindow
 	arrSeq    []atomic.Uint64
 }
 
@@ -918,6 +1004,11 @@ func (m *tcpMesh) newOp(id uint32, slr *seal.Sealer, recvTO time.Duration, trace
 		streams: newStreamTable(),
 		arrSeq:  make([]atomic.Uint64, m.spec.P*m.spec.P),
 	}
+	window := DefaultSegmentWindow
+	if pipe != nil {
+		window = pipe.window
+	}
+	e.openWin = newOpenWindow(window)
 	for r := 0; r < m.spec.P; r++ {
 		e.inboxes[r] = newOpInbox()
 		e.pend[r] = make([]map[uint64]block.Message, m.spec.P)
@@ -931,38 +1022,55 @@ func (m *tcpMesh) newOp(id uint32, slr *seal.Sealer, recvTO time.Duration, trace
 	return e
 }
 
-// newStreamRecv sets up the receive side of an incoming segment stream
-// from its first sub-frame's metadata: the open stream (blob and
-// plaintext allocated once), the delivery-order slot the finished chunk
-// will occupy, and the completion/failure hooks. The stream delivers
-// into the operation's inbox only when every segment has authenticated;
-// one bad segment fails the operation closed and the mesh lives on.
-func (e *tcpEngine) newStreamRecv(src, dst int, key streamKey, sf wire.SegFrame) (*streamRecv, error) {
-	os, err := e.slr.NewOpenStream(sf.Meta.Header, e.aad(block.EncodeHeader(sf.Meta.Blocks)))
-	if err != nil {
-		return nil, err
-	}
-	if os.K() != int(sf.Count) {
-		return nil, fmt.Errorf("stream %d header declares %d segments, sub-frame says %d", key.id, os.K(), sf.Count)
-	}
-	window := DefaultSegmentWindow
-	if e.pipe != nil {
-		window = e.pipe.window
-	}
+// newMsgRecv sets up the receive side of an incoming pipelined message
+// from its first sub-frame's message metadata: the chunk assembly
+// slots, the delivery-order slot the finished message will occupy, and
+// the completion/failure hooks. The message delivers into the
+// operation's inbox only when every chunk has assembled; one bad chunk
+// fails the operation closed and the mesh lives on.
+func (e *tcpEngine) newMsgRecv(src, dst int, key streamKey, total int) *msgRecv {
 	// Reserve the delivery slot now: later whole-message frames from the
 	// same sender take later numbers, so the asynchronously completing
-	// stream cannot be overtaken in the receiver's arrival order.
+	// message cannot be overtaken in the receiver's arrival order.
 	seq := e.nextEnvSeq(src, dst)
-	sr := newStreamRecv(os, sf.Meta.Blocks, sf.Meta.Tag, window, e.mesh.lm,
-		func(c block.Chunk) {
+	mr := newMsgRecv(total,
+		func(msg block.Message) {
 			e.streams.drop(key)
-			e.inboxes[dst].push(envelope{src: src, seq: seq, msg: block.Message{Chunks: []block.Chunk{c}}})
+			e.inboxes[dst].push(envelope{src: src, seq: seq, msg: msg})
 		},
 		func(err error) {
 			e.streams.drop(key)
 			e.failAsync(&RankError{Rank: dst, Peer: src, Op: "open", Err: err})
 		})
-	e.streams.put(key, sr)
+	e.streams.put(key, mr)
+	return mr
+}
+
+// newChunkStream sets up one per-chunk receive stream of a pipelined
+// message from the chunk's first sub-frame metadata: the open stream
+// (blob and plaintext allocated once), drawing on the operation's
+// shared open window, delivering the assembled chunk into its message
+// slot. An authentication failure on any segment fails the whole
+// message — and so the operation — exactly once.
+func (e *tcpEngine) newChunkStream(mr *msgRecv, sf wire.SegFrame) (*streamRecv, error) {
+	if len(sf.Meta.Header) == 0 {
+		return nil, fmt.Errorf("stream %d chunk %d metadata carries no seal header", sf.Stream, sf.Chunk)
+	}
+	os, err := e.slr.NewOpenStream(sf.Meta.Header, e.aad(block.EncodeHeader(sf.Meta.Blocks)))
+	if err != nil {
+		return nil, err
+	}
+	if os.K() != int(sf.Count) {
+		return nil, fmt.Errorf("stream %d chunk %d header declares %d segments, sub-frame says %d",
+			sf.Stream, sf.Chunk, os.K(), sf.Count)
+	}
+	ci := sf.Chunk
+	sr := newStreamRecv(os, sf.Meta.Blocks, sf.Meta.Tag, e.openWin, e.mesh.lm,
+		func(c block.Chunk) { mr.setChunk(ci, c) },
+		func(err error) { mr.failOnce(err) })
+	if !mr.addStream(ci, sr) {
+		return nil, fmt.Errorf("stream %d chunk %d duplicated or out of range", sf.Stream, sf.Chunk)
+	}
 	return sr, nil
 }
 
@@ -1012,16 +1120,16 @@ func (tcpSendReq) isRequest() {}
 // isend enqueues the frame on the rank's send scheduler and returns
 // immediately — sends of concurrent operations interleave fairly on the
 // shared links, and a blocked link never stalls the rank goroutine. A
-// message that qualifies for pipelining (one encrypted chunk, enough
-// segments) is enqueued as a segment stream; anything else is
-// materialized and travels as a whole-message frame.
+// message with at least one sealed chunk that qualifies for pipelining
+// (enough segments) is enqueued as a per-message stream plan; anything
+// else is materialized and travels as a whole-message frame.
 func (e *tcpEngine) isend(p *Proc, dst int, msg block.Message) Request {
 	e.audit.record(e.spec, p.rank, dst, msg)
 	if e.isAborted() {
 		panic(errRunAborted)
 	}
-	if st, c := e.pipe.streamForSend(msg); st != nil {
-		e.mesh.sendQ[p.rank].Push(e.id, tcpJob{op: e, dst: dst, stream: st, sid: e.streamSeq.Add(1), chunk: c})
+	if plan := e.pipe.streamsForSend(msg); plan != nil {
+		e.mesh.sendQ[p.rank].Push(e.id, tcpJob{op: e, dst: dst, plan: plan, sid: e.streamSeq.Add(1)})
 		return tcpSendReq{}
 	}
 	msg, err := materializeMessage(msg)

@@ -38,6 +38,8 @@ const (
 	MetricBytesRecv      = "encag_transport_bytes_recv_total"
 
 	MetricPipeStreams        = "encag_pipeline_streams_total"
+	MetricPipeMsgs           = "encag_pipeline_msg_streams_total"
+	MetricPipeInlineChunks   = "encag_pipeline_inline_chunks_total"
 	MetricPipeSegmentsSent   = "encag_pipeline_segments_sent_total"
 	MetricPipeSegmentsRecv   = "encag_pipeline_segments_recv_total"
 	MetricPipeInlineOpens    = "encag_pipeline_inline_opens_total"
@@ -86,6 +88,8 @@ type liveMetrics struct {
 	bytesRecv       [][]*metrics.Counter
 
 	pipeStreams        *metrics.Counter
+	pipeMsgs           *metrics.Counter
+	pipeInlineChunks   *metrics.Counter
 	pipeSegmentsSent   *metrics.Counter
 	pipeSegmentsRecv   *metrics.Counter
 	pipeInlineOpens    *metrics.Counter
@@ -122,7 +126,9 @@ func newLiveMetrics(reg *metrics.Registry, spec Spec, kind EngineKind) *liveMetr
 	lm.recvTimeouts = reg.Counter(MetricRecvTimeouts, "Receives that hit the per-wait deadline.")
 	lm.stragglers = reg.Counter(MetricStragglers, "Frames of retired operations dropped by the demux.")
 
-	lm.pipeStreams = reg.Counter(MetricPipeStreams, "Segment streams started by the pipelined send path.")
+	lm.pipeStreams = reg.Counter(MetricPipeStreams, "Per-chunk segment streams started by the pipelined send path.")
+	lm.pipeMsgs = reg.Counter(MetricPipeMsgs, "Pipelined messages sent (each interleaving its per-chunk streams and inline chunks).")
+	lm.pipeInlineChunks = reg.Counter(MetricPipeInlineChunks, "Chunks shipped whole inside pipelined messages (too small to stream).")
 	lm.pipeSegmentsSent = reg.Counter(MetricPipeSegmentsSent, "Sealed segments put on the wire by pipelined sends.")
 	lm.pipeSegmentsRecv = reg.Counter(MetricPipeSegmentsRecv, "Sealed segments delivered into receive streams.")
 	lm.pipeInlineOpens = reg.Counter(MetricPipeInlineOpens, "Segment opens forced inline by a full segment window (backpressure).")
@@ -232,8 +238,14 @@ type SessionSnapshot struct {
 	BytesRecv  int64
 
 	// Pipeline* fields describe intra-collective segment streaming
-	// (zero everywhere when pipelining is off).
+	// (zero everywhere when pipelining is off). PipelineMsgs counts
+	// pipelined messages; PipelineStreams counts their per-chunk
+	// segment streams, so Streams > Msgs implies multi-chunk messages
+	// streamed; PipelineInlineChunks counts the chunks shipped whole
+	// inside pipelined messages.
 	PipelineStreams      int64
+	PipelineMsgs         int64
+	PipelineInlineChunks int64
 	PipelineSegmentsSent int64
 	PipelineSegmentsRecv int64
 	PipelineInlineOpens  int64
@@ -297,6 +309,8 @@ func (s *Session) Snapshot() SessionSnapshot {
 	snap.BytesSent = lm.bytesSentTotal.Value()
 	snap.BytesRecv = lm.bytesRecvTotal.Value()
 	snap.PipelineStreams = lm.pipeStreams.Value()
+	snap.PipelineMsgs = lm.pipeMsgs.Value()
+	snap.PipelineInlineChunks = lm.pipeInlineChunks.Value()
 	snap.PipelineSegmentsSent = lm.pipeSegmentsSent.Value()
 	snap.PipelineSegmentsRecv = lm.pipeSegmentsRecv.Value()
 	snap.PipelineInlineOpens = lm.pipeInlineOpens.Value()

@@ -122,18 +122,38 @@ func TestPipelineChanByteExact(t *testing.T) {
 	}
 }
 
-// Mixed traffic on one directed pair — a pipelined stream followed by
-// small whole-message frames — must be received in program order even
-// though the stream's chunk completes asynchronously.
+// splitEncrypt seals rank r's plaintext as two separate chunks (each
+// half qualifies for its own segment stream), the multi-chunk send
+// shape of the hierarchical algorithms.
+func splitEncrypt(p *Proc, mine block.Message) (block.Chunk, block.Chunk) {
+	pl := mine.Chunks[0].Payload
+	half := len(pl) / 2
+	a := p.Encrypt(block.NewPlain(p.Rank(), pl[:half]).Chunks[0])
+	b := p.Encrypt(block.NewPlain(p.Rank(), pl[half:]).Chunks[0])
+	return a, b
+}
+
+// joinDecrypted reassembles the two decrypted halves into one plain
+// block message for gather validation.
+func joinDecrypted(origin int, dec block.Message) block.Message {
+	buf := append(append([]byte(nil), dec.Chunks[0].Payload...), dec.Chunks[1].Payload...)
+	return block.NewPlain(origin, buf)
+}
+
+// Mixed traffic on one directed pair — a pipelined multi-chunk message
+// (two concurrent per-chunk streams on the same link) followed by small
+// whole-message frames — must be received in program order even though
+// the message's chunks assemble asynchronously.
 func TestPipelineOrderingUnderMixedTraffic(t *testing.T) {
 	algo := func(p *Proc, mine block.Message) block.Message {
 		other := 1 - p.Rank()
-		ct := p.Encrypt(mine.Chunks...)
+		ctA, ctB := splitEncrypt(p, mine)
 		small := block.NewPlain(p.Rank(), block.FillPattern(p.Rank(), 64))
-		// Stream first, two small plaintext frames right behind it on
-		// the same pair; receives must observe the same order.
+		// Multi-chunk stream first, two small plaintext frames right
+		// behind it on the same pair; receives must observe the same
+		// order.
 		reqs := []Request{
-			p.Isend(other, block.Message{Chunks: []block.Chunk{ct}}),
+			p.Isend(other, block.Message{Chunks: []block.Chunk{ctA, ctB}}),
 			p.Isend(other, small),
 			p.Isend(other, small),
 		}
@@ -141,13 +161,16 @@ func TestPipelineOrderingUnderMixedTraffic(t *testing.T) {
 		if !first.HasCiphertext() {
 			panic("stream overtaken: first receive is not the ciphertext")
 		}
+		if len(first.Chunks) != 2 {
+			panic("multi-chunk message lost chunks in assembly")
+		}
 		for i := 0; i < 2; i++ {
 			if m := p.Recv(other); m.HasCiphertext() {
 				panic("trailing small frame arrived encrypted")
 			}
 		}
 		p.Wait(reqs...)
-		return block.Concat(mine, p.DecryptAll(first))
+		return block.Concat(mine, joinDecrypted(other, p.DecryptAll(first)))
 	}
 	for _, kind := range []EngineKind{EngineTCP, EngineChan} {
 		spec := Spec{P: 2, N: 2, Mapping: BlockMapping}
@@ -162,6 +185,115 @@ func TestPipelineOrderingUnderMixedTraffic(t *testing.T) {
 		if err := ValidateGather(spec, pipeSize, res.Results, true); err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
+		if streams, msgs := s.lm.pipeStreams.Value(), s.lm.pipeMsgs.Value(); streams != 2*msgs || msgs == 0 {
+			t.Fatalf("%v: %d per-chunk streams over %d pipelined messages, want 2 per message", kind, streams, msgs)
+		}
+		s.Close()
+	}
+}
+
+// A multi-chunk message mixing two stream-worthy sealed chunks with one
+// tiny inline sealed chunk must arrive byte-exact on both engines, with
+// the metric families showing multiple per-chunk streams per pipelined
+// message plus the inline chunk.
+func TestPipelineMultiChunkByteExact(t *testing.T) {
+	const tiny = 64
+	algo := func(p *Proc, mine block.Message) block.Message {
+		other := 1 - p.Rank()
+		ctA, ctB := splitEncrypt(p, mine)
+		ctTiny := p.Encrypt(block.NewPlain(p.Rank(), block.FillPattern(p.Rank(), tiny)).Chunks[0])
+		in := p.SendRecv(other, block.Message{Chunks: []block.Chunk{ctA, ctB, ctTiny}}, other)
+		if len(in.Chunks) != 3 {
+			panic("multi-chunk message lost chunks in assembly")
+		}
+		dec := p.DecryptAll(in)
+		if !bytes.Equal(dec.Chunks[2].Payload, block.FillPattern(other, tiny)) {
+			panic("inline chunk decrypted to wrong bytes")
+		}
+		return block.Concat(mine, joinDecrypted(other, dec))
+	}
+	for _, kind := range []EngineKind{EngineTCP, EngineChan} {
+		spec := Spec{P: 2, N: 2, Mapping: BlockMapping}
+		if kind == EngineChan {
+			spec.N = 1
+		}
+		s := openPipelined(t, spec, kind)
+		res, err := s.Collective(context.Background(), Op{Algo: algo, MsgSize: pipeSize})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := ValidateGather(spec, pipeSize, res.Results, true); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		msgs := s.lm.pipeMsgs.Value()
+		if msgs == 0 {
+			t.Fatalf("%v: no pipelined messages", kind)
+		}
+		if streams := s.lm.pipeStreams.Value(); streams != 2*msgs {
+			t.Fatalf("%v: %d per-chunk streams over %d messages, want 2 per message", kind, streams, msgs)
+		}
+		if inl := s.lm.pipeInlineChunks.Value(); inl != msgs {
+			t.Fatalf("%v: %d inline chunks over %d messages, want 1 per message", kind, inl, msgs)
+		}
+		if sent, recv := s.lm.pipeSegmentsSent.Value(), s.lm.pipeSegmentsRecv.Value(); sent != recv || sent == 0 {
+			t.Fatalf("%v: segments sent %d != received %d", kind, sent, recv)
+		}
+		if kind == EngineTCP {
+			for r := 0; r < spec.P; r++ {
+				if s.Sniffer().Contains(block.FillPattern(r, pipeSize)) {
+					t.Fatalf("rank %d plaintext visible on the pipelined wire", r)
+				}
+			}
+		}
+		s.Close()
+	}
+}
+
+// exchangeMultiChunk is the two-rank multi-chunk exchange the fault
+// tests drive: each rank's message is exactly two per-chunk streams of
+// deterministic segment counts (32 KiB halves split into 4 segments of
+// 8 KiB each), so a frame index picks a specific chunk's segment.
+func exchangeMultiChunk(p *Proc, mine block.Message) block.Message {
+	other := 1 - p.Rank()
+	ctA, ctB := splitEncrypt(p, mine)
+	in := p.SendRecv(other, block.Message{Chunks: []block.Chunk{ctA, ctB}}, other)
+	return block.Concat(mine, joinDecrypted(other, p.DecryptAll(in)))
+}
+
+// Corrupting one segment of ONE chunk stream of a multi-chunk pipelined
+// message must fail exactly that operation closed, on both engines,
+// while the mesh survives for a clean follow-up collective. Frame 5 on
+// the 0->1 pair is the second chunk's second segment sub-frame (frames
+// 0-3 carry chunk 0, frames 4-7 chunk 1), so the fault lands inside the
+// sibling stream, not the first.
+func TestPipelineMultiChunkCorruptOneStreamFailsClosed(t *testing.T) {
+	for _, kind := range []EngineKind{EngineTCP, EngineChan} {
+		spec := Spec{P: 2, N: 2, Mapping: BlockMapping, RecvTimeout: 5 * time.Second}
+		if kind == EngineChan {
+			spec.N = 1
+		}
+		s := openPipelined(t, spec, kind)
+		plan := &fault.Plan{Rules: []fault.Rule{
+			{Src: 0, Dst: 1, Frame: 5, Kind: fault.Corrupt, Offset: 100},
+		}}
+		_, err := s.Collective(context.Background(), Op{Algo: exchangeMultiChunk, MsgSize: pipeSize, Plan: plan})
+		var re *RankError
+		if !errors.As(err, &re) {
+			t.Fatalf("%v: corrupted chunk stream yielded %v, want a structured rank error", kind, err)
+		}
+		if re.Op != "open" && re.Op != "recv" {
+			t.Fatalf("%v: corrupted chunk stream failed with op %q, want open or recv", kind, re.Op)
+		}
+		if s.Err() != nil {
+			t.Fatalf("%v: chunk-stream corruption poisoned the mesh: %v", kind, s.Err())
+		}
+		res, err := s.Collective(context.Background(), Op{Algo: exchangeMultiChunk, MsgSize: pipeSize})
+		if err != nil {
+			t.Fatalf("%v: follow-up collective failed: %v", kind, err)
+		}
+		if err := ValidateGather(spec, pipeSize, res.Results, true); err != nil {
+			t.Fatalf("%v: follow-up gather corrupted: %v", kind, err)
+		}
 		s.Close()
 	}
 }
@@ -174,7 +306,7 @@ func TestPipelineTCPCorruptSegmentFailsClosed(t *testing.T) {
 	s := openPipelined(t, spec, EngineTCP)
 	defer s.Close()
 	// Frame 1 on the 0->1 pair is the stream's second segment sub-frame
-	// (no metadata section: its payload starts 37 bytes in), so offset
+	// (no metadata section: its payload starts 41 bytes in), so offset
 	// 100 lands inside the sealed segment bytes.
 	plan := &fault.Plan{Rules: []fault.Rule{
 		{Src: 0, Dst: 1, Frame: 1, Kind: fault.Corrupt, Offset: 100},
@@ -286,9 +418,10 @@ func TestPipelineTCPRandomPlans(t *testing.T) {
 	}
 }
 
-// resolvePipe and streamForSend gate which traffic streams: pipelining
-// must be off by default, apply defaults when enabled, and pass only
-// single-chunk encrypted messages big enough to be worth segmenting.
+// resolvePipe and streamsForSend gate which traffic streams: pipelining
+// must be off by default, apply defaults when enabled, and build a send
+// plan that streams every qualifying sealed chunk — multi-chunk
+// messages included — with the rest riding inline.
 func TestPipelineQualification(t *testing.T) {
 	if resolvePipe(PipelineConfig{}) != nil {
 		t.Fatal("pipelining resolved on without being enabled")
@@ -313,22 +446,52 @@ func TestPipelineQualification(t *testing.T) {
 	}
 	enc := block.Chunk{Enc: true, Stream: st}
 	var nilPC *pipeCfg
-	if got, _ := nilPC.streamForSend(block.Message{Chunks: []block.Chunk{enc}}); got != nil {
+	if nilPC.streamsForSend(block.Message{Chunks: []block.Chunk{enc}}) != nil {
 		t.Fatal("nil config streamed")
 	}
 	pc = resolvePipe(PipelineConfig{Enabled: true})
-	if got, _ := pc.streamForSend(block.Message{Chunks: []block.Chunk{enc}}); got != st {
-		t.Fatal("pending seal stream not passed through")
+	plan := pc.streamsForSend(block.Message{Chunks: []block.Chunk{enc}})
+	if plan == nil || plan.streams != 1 || plan.chunks[0].stream != st {
+		t.Fatalf("pending seal stream not passed through: %+v", plan)
 	}
-	if got, _ := pc.streamForSend(block.Message{Chunks: []block.Chunk{enc, enc}}); got != nil {
-		t.Fatal("multi-chunk message streamed")
+	// A multi-chunk message streams every qualifying sealed chunk — the
+	// hierarchical send shape this plan exists for.
+	plan = pc.streamsForSend(block.Message{Chunks: []block.Chunk{enc, enc}})
+	if plan == nil || plan.streams != 2 {
+		t.Fatalf("multi-chunk message did not stream both chunks: %+v", plan)
 	}
-	if got, _ := pc.streamForSend(block.Message{Chunks: []block.Chunk{{Payload: pt}}}); got != nil {
-		t.Fatal("plaintext chunk streamed")
+	if pc.streamsForSend(block.Message{Chunks: []block.Chunk{{Payload: pt}}}) != nil {
+		t.Fatal("plaintext-only message streamed")
 	}
-	small := block.Chunk{Enc: true, Payload: make([]byte, 100)}
-	if got, _ := pc.streamForSend(block.Message{Chunks: []block.Chunk{small}}); got != nil {
+	small := block.Chunk{Enc: true, Blocks: []block.Block{{Origin: 0, Len: 100}}, Payload: make([]byte, 100)}
+	if pc.streamsForSend(block.Message{Chunks: []block.Chunk{small}}) != nil {
 		t.Fatal("sub-threshold blob streamed")
+	}
+	// Mixed: one qualifying stream plus one small sealed chunk riding
+	// inline in the same plan.
+	plan = pc.streamsForSend(block.Message{Chunks: []block.Chunk{enc, small}})
+	if plan == nil || plan.streams != 1 || plan.chunks[1].stream != nil {
+		t.Fatalf("mixed message mis-planned: %+v", plan)
+	}
+	// The minStream threshold compares plaintext length, not sealed blob
+	// length: a blob whose framing overhead pushes it past the threshold
+	// while its plaintext stays below must not stream.
+	edgeSealer, err := seal.NewRandomSealer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeSealer.SetSegmentSize(8 << 10)
+	edgePT := int64(defaultMinStreamBytes - 4)
+	edgeBlob, _, err := edgeSealer.SealSegmented([][]byte{bytes.Repeat([]byte{5}, int(edgePT))}, []byte("edge"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(edgeBlob)) < defaultMinStreamBytes {
+		t.Fatalf("edge blob %d bytes does not exercise the blob/plaintext gap", len(edgeBlob))
+	}
+	edge := block.Chunk{Enc: true, Blocks: []block.Block{{Origin: 0, Len: edgePT}}, Payload: edgeBlob}
+	if pc.streamsForSend(block.Message{Chunks: []block.Chunk{edge}}) != nil {
+		t.Fatal("sub-threshold plaintext streamed because its sealed blob crossed the threshold")
 	}
 	// A big pre-sealed blob re-streams along its recorded segment
 	// boundaries (the forwarding path). Pin the split size: the adaptive
@@ -344,12 +507,74 @@ func TestPipelineQualification(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fwd, _ := pc.streamForSend(block.Message{Chunks: []block.Chunk{{Enc: true, Payload: blob}}})
-	if fwd == nil {
+	plan = pc.streamsForSend(block.Message{Chunks: []block.Chunk{
+		{Enc: true, Blocks: []block.Block{{Origin: 0, Len: 256 << 10}}, Payload: blob}}})
+	if plan == nil || plan.streams != 1 {
 		t.Fatal("forwarded segmented blob did not re-stream")
 	}
-	if b, err := fwd.Blob(); err != nil || !bytes.Equal(b, blob) {
+	if b, err := plan.chunks[0].stream.Blob(); err != nil || !bytes.Equal(b, blob) {
 		t.Fatalf("re-streamed blob diverged: %v", err)
+	}
+}
+
+// materializeMessage must never ship a half-materialized message: on a
+// mid-loop Blob failure it returns a zero message and the original —
+// pending streams intact — is left untouched.
+func TestMaterializeMessageErrorContract(t *testing.T) {
+	slr, err := seal.NewRandomSealer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := bytes.Repeat([]byte{3}, 64<<10)
+	stA := slr.NewSealStream([][]byte{pt}, []byte("a"))
+	stB := slr.NewSealStream([][]byte{pt}, []byte("b"))
+	if stA == nil || stB == nil {
+		t.Fatal("no seal streams")
+	}
+	plain := block.NewPlain(0, []byte("done")).Chunks[0]
+	msg := block.Message{Chunks: []block.Chunk{
+		plain,
+		{Enc: true, Stream: stA},
+		{Enc: true, Stream: stB},
+	}}
+
+	// Fail the second stream's Blob: the first has already materialized
+	// into the copied slice when the error hits.
+	calls := 0
+	streamBlob = func(st *seal.SealStream) ([]byte, error) {
+		if calls++; calls == 2 {
+			return nil, errors.New("injected blob failure")
+		}
+		return st.Blob()
+	}
+	defer func() { streamBlob = (*seal.SealStream).Blob }()
+
+	out, err := materializeMessage(msg)
+	if err == nil {
+		t.Fatal("mid-loop blob failure not surfaced")
+	}
+	if len(out.Chunks) != 0 {
+		t.Fatalf("error path returned a shippable message with %d chunks", len(out.Chunks))
+	}
+	if msg.Chunks[1].Stream != stA || msg.Chunks[2].Stream != stB || msg.Chunks[1].Payload != nil {
+		t.Fatal("original message mutated on the error path")
+	}
+
+	// Success path: all streams materialize into a copy, original intact.
+	out, err = materializeMessage(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range out.Chunks {
+		if c.Stream != nil {
+			t.Fatalf("chunk %d still pending after materialize", i)
+		}
+	}
+	if out.Chunks[1].Payload == nil || out.Chunks[2].Payload == nil {
+		t.Fatal("materialized chunks carry no blob")
+	}
+	if msg.Chunks[1].Stream != stA || msg.Chunks[2].Stream != stB {
+		t.Fatal("original message mutated on the success path")
 	}
 }
 
@@ -374,7 +599,7 @@ func TestStreamRecvAssembly(t *testing.T) {
 	}
 	delivered := make(chan block.Chunk, 1)
 	failed := make(chan error, 1)
-	sr := newStreamRecv(os, nil, 0, 2, nil,
+	sr := newStreamRecv(os, nil, 0, newOpenWindow(2), nil,
 		func(c block.Chunk) { delivered <- c },
 		func(err error) { failed <- err })
 	// Fill in reverse order: arrival order must not matter.

@@ -33,7 +33,9 @@ type engine interface {
 	// pipeline returns the engine's intra-collective pipelining
 	// configuration, or nil when segment streaming is off (sim engine,
 	// pipelining not enabled, or an adversary tap needs whole
-	// messages).
+	// messages). Every qualifying sealed chunk of a message streams —
+	// multi-chunk hierarchical sends included — with the rest riding
+	// inline in the same envelope sequence.
 	pipeline() *pipeCfg
 
 	// aad derives the AEAD associated data from the encoded block

@@ -321,6 +321,17 @@ func writeSegHeader(out []byte, l segLayout) {
 	}
 }
 
+// CheckSegmented validates a segmented blob's framing — magic, count,
+// and per-segment lengths against the blob's actual size — without
+// touching the cryptography. Transports use it to reject a malformed
+// chunk at arrival as an operation-scoped failure instead of carrying
+// it to a decrypt that was always going to fail. Nothing about the
+// blob is authenticated; a well-framed forgery still dies in GCM.
+func CheckSegmented(blob []byte) error {
+	_, _, _, err := parseSegmented(blob)
+	return err
+}
+
 // BlobSegments reports how many segments a segmented blob declares, or
 // 0 if blob does not carry the segmented framing. It is a framing peek
 // only — nothing about the blob is authenticated.

@@ -1,7 +1,10 @@
-// Segment sub-frames: the pipelined transport splits one encrypted
-// chunk into the sealed segments of its segmented blob and ships each
-// segment as its own frame, so sealing, transport and opening overlap
-// inside a single collective step.
+// Segment sub-frames: the pipelined transport ships one message as a
+// run of sub-frames — each streamed chunk travels as the sealed
+// segments of its segmented blob, one segment per sub-frame, and each
+// small chunk travels inline as a single sub-frame — so sealing,
+// transport and opening overlap inside a single collective step while
+// the receiver reassembles the chunks, in order, into the original
+// multi-chunk message.
 //
 // Sub-frame layout:
 //
@@ -11,15 +14,28 @@
 //	       message frames: each sub-frame takes its own number, so the
 //	       receiver's duplicate gate works unchanged across resends)
 //	uint32 operation id
-//	uint32 stream id (allocated per send; distinguishes concurrent
-//	       segment streams between one rank pair within an operation)
+//	uint32 stream id (allocated per pipelined message send;
+//	       distinguishes concurrent pipelined messages between one rank
+//	       pair within an operation)
+//	uint32 chunk index (position of this sub-frame's chunk in the
+//	       message; per-chunk segment streams of one message interleave
+//	       with its inline chunks under a single stream id)
 //	uint32 segment index
 //	uint32 segment count
-//	uint8  flags (bit0: metadata present — set on the stream's first
-//	       sub-frame: int32 chunk tag, length-prefixed encoded block
-//	       header, length-prefixed segmented-seal framing header)
-//	uint32 payload length, payload bytes (one sealed segment:
-//	       nonce || ciphertext || tag)
+//	uint8  flags
+//	       bit0: chunk metadata present — set on each chunk's first
+//	             sub-frame: int32 chunk tag, length-prefixed encoded
+//	             block header, length-prefixed segmented-seal framing
+//	             header (empty for inline chunks)
+//	       bit1: message metadata present — set on the message's first
+//	             sub-frame: uint32 total chunk count, so the receiver
+//	             can size the assembly before anything else arrives
+//	       bit2: inline chunk — the payload is the chunk's whole
+//	             materialized payload (segment index 0 of count 1)
+//	       bit3: the inline chunk is encrypted (a sealed blob); only
+//	             valid with bit2
+//	uint32 payload length, payload bytes (one sealed segment
+//	       nonce || ciphertext || tag, or an inline chunk's payload)
 //
 // ReadFrameStart deliberately stops before the payload: the transport
 // reads the payload bytes straight into the receive stream's in-blob
@@ -40,24 +56,43 @@ const (
 	// segment header) a reader will allocate; generous next to the
 	// maxCount bounds that already apply to both headers.
 	maxSegMeta = 1 << 24
+
+	// Sub-frame flag bits.
+	flagChunkMeta = 1 << 0 // chunk metadata section present
+	flagMsgMeta   = 1 << 1 // message metadata (total chunk count) present
+	flagInline    = 1 << 2 // payload is a whole materialized chunk
+	flagInlineEnc = 1 << 3 // the inline chunk is a sealed blob
+	flagsKnown    = flagChunkMeta | flagMsgMeta | flagInline | flagInlineEnc
 )
 
-// SegMeta is the stream-level metadata carried by a stream's first
-// sub-frame: everything the receiver needs to allocate the stream and
-// reconstruct the chunk (and its AAD) before any payload arrives.
+// SegMeta is the chunk-level metadata carried by each chunk's first
+// sub-frame: everything the receiver needs to allocate the chunk's
+// stream and reconstruct the chunk (and its AAD) before any payload
+// arrives. Inline chunks carry it too, with an empty seal Header.
 type SegMeta struct {
 	Tag    int
 	Blocks []block.Block
-	Header []byte // segmented-seal framing header
+	Header []byte // segmented-seal framing header; empty for inline chunks
 }
 
 // SegFrame is one segment sub-frame. On the write side Payload holds
-// the sealed segment; on the read side Payload is nil and PayloadLen
-// says how many bytes the caller must consume from the stream.
+// the sealed segment (or the inline chunk's payload); on the read side
+// Payload is nil and PayloadLen says how many bytes the caller must
+// consume from the stream.
 type SegFrame struct {
-	Stream     uint32
-	Index      uint32
-	Count      uint32
+	Stream uint32 // pipelined-message stream id
+	Chunk  uint32 // chunk index within the message
+	Index  uint32 // segment index within the chunk
+	Count  uint32 // segment count of the chunk
+	// MsgChunks is the message's total chunk count, carried by the
+	// message's first sub-frame only; 0 means absent (a message always
+	// has at least one chunk).
+	MsgChunks uint32
+	// Inline marks a sub-frame whose payload is a whole materialized
+	// chunk rather than one sealed segment; Enc says whether that
+	// inline chunk is a sealed blob.
+	Inline     bool
+	Enc        bool
 	Meta       *SegMeta
 	Payload    []byte
 	PayloadLen int
@@ -102,17 +137,31 @@ func (fw *FrameWriter) WriteSeg(w io.Writer, src int, op uint32, seq uint64, sf 
 	if err := writeU64(bw, seq); err != nil {
 		return err
 	}
-	for _, v := range []uint32{op, sf.Stream, sf.Index, sf.Count} {
+	for _, v := range []uint32{op, sf.Stream, sf.Chunk, sf.Index, sf.Count} {
 		if err := writeU32(bw, v); err != nil {
 			return err
 		}
 	}
 	var flags byte
 	if sf.Meta != nil {
-		flags |= 1
+		flags |= flagChunkMeta
+	}
+	if sf.MsgChunks > 0 {
+		flags |= flagMsgMeta
+	}
+	if sf.Inline {
+		flags |= flagInline
+		if sf.Enc {
+			flags |= flagInlineEnc
+		}
 	}
 	if err := bw.WriteByte(flags); err != nil {
 		return err
+	}
+	if sf.MsgChunks > 0 {
+		if err := writeU32(bw, sf.MsgChunks); err != nil {
+			return err
+		}
 	}
 	if m := sf.Meta; m != nil {
 		hdr := block.EncodeHeader(m.Blocks)
@@ -204,6 +253,9 @@ func readSegBody(r io.Reader) (Frame, error) {
 	if fr.Seg.Stream, err = readU32(r); err != nil {
 		return fr, err
 	}
+	if fr.Seg.Chunk, err = readU32(r); err != nil {
+		return fr, err
+	}
 	if fr.Seg.Index, err = readU32(r); err != nil {
 		return fr, err
 	}
@@ -220,7 +272,29 @@ func readSegBody(r io.Reader) (Frame, error) {
 	if _, err := io.ReadFull(r, flags[:]); err != nil {
 		return fr, err
 	}
-	if flags[0]&1 != 0 {
+	if flags[0]&^byte(flagsKnown) != 0 {
+		return fr, fmt.Errorf("%w: unknown sub-frame flags %#x", ErrBadFrame, flags[0])
+	}
+	fr.Seg.Inline = flags[0]&flagInline != 0
+	fr.Seg.Enc = flags[0]&flagInlineEnc != 0
+	if fr.Seg.Enc && !fr.Seg.Inline {
+		return fr, fmt.Errorf("%w: inline-enc flag without inline", ErrBadFrame)
+	}
+	if fr.Seg.Inline && (fr.Seg.Index != 0 || fr.Seg.Count != 1) {
+		return fr, fmt.Errorf("%w: inline chunk numbered segment %d of %d", ErrBadFrame, fr.Seg.Index, fr.Seg.Count)
+	}
+	if flags[0]&flagMsgMeta != 0 {
+		if fr.Seg.MsgChunks, err = readU32(r); err != nil {
+			return fr, err
+		}
+		if fr.Seg.MsgChunks == 0 || fr.Seg.MsgChunks > maxCount {
+			return fr, fmt.Errorf("%w: message chunk count %d out of range", ErrBadFrame, fr.Seg.MsgChunks)
+		}
+	}
+	if fr.Seg.Chunk >= maxCount || (fr.Seg.MsgChunks > 0 && fr.Seg.Chunk >= fr.Seg.MsgChunks) {
+		return fr, fmt.Errorf("%w: chunk index %d out of range", ErrBadFrame, fr.Seg.Chunk)
+	}
+	if flags[0]&flagChunkMeta != 0 {
 		meta, err := readSegMeta(r)
 		if err != nil {
 			return fr, err

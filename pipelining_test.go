@@ -22,7 +22,7 @@ func TestSessionPipelining(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", engine, err)
 		}
-		for _, algo := range []string{"o-ring", "hs1"} {
+		for _, algo := range []string{"o-ring", "hs1", "hs2"} {
 			want, err := serial.Run(context.Background(), algo, msgSize)
 			if err != nil {
 				t.Fatalf("%s/%s serial: %v", engine, algo, err)
@@ -45,6 +45,17 @@ func TestSessionPipelining(t *testing.T) {
 		snap := piped.Snapshot()
 		if snap.PipelineStreams == 0 {
 			t.Fatalf("%s: pipelined session never streamed", engine)
+		}
+		if snap.PipelineMsgs == 0 {
+			t.Fatalf("%s: pipelined session sent no pipelined messages", engine)
+		}
+		// The hierarchical runs send multi-chunk messages, so the
+		// session must have opened more per-chunk streams than it sent
+		// pipelined messages — the bypass this PR removes would leave
+		// the two counters equal.
+		if snap.PipelineStreams <= snap.PipelineMsgs {
+			t.Fatalf("%s: %d per-chunk streams over %d pipelined messages; multi-chunk sends are not streaming",
+				engine, snap.PipelineStreams, snap.PipelineMsgs)
 		}
 		if snap.PipelineWindow != 2 {
 			t.Fatalf("%s: segment window gauge = %d, want 2", engine, snap.PipelineWindow)
