@@ -44,7 +44,7 @@ func TestSimulateVSkewedSizes(t *testing.T) {
 	for i := range sizes {
 		sizes[i] = int64(i) * 4096 // heavily skewed, rank 0 empty
 	}
-	for _, alg := range []string{"naive", "c-ring", "hs2"} {
+	for _, alg := range []Alg{AlgNaive, AlgCRing, AlgHS2} {
 		res, err := SimulateV(spec, Noleland(), alg, sizes)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)

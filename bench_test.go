@@ -89,9 +89,9 @@ func BenchmarkAblationRankOrderedRing(b *testing.B)  { runExperiment(b, "ablatio
 // configuration per algorithm.
 func BenchmarkSimulate(b *testing.B) {
 	spec := encag.Spec{Procs: 128, Nodes: 8}
-	for _, alg := range append([]string{"mpi"}, encag.PaperAlgorithms()...) {
+	for _, alg := range append([]encag.Alg{encag.AlgMPI}, encag.PaperAlgorithms()...) {
 		alg := alg
-		b.Run(alg, func(b *testing.B) {
+		b.Run(string(alg), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := encag.Simulate(spec, encag.Noleland(), alg, 16<<10); err != nil {
 					b.Fatal(err)
@@ -144,7 +144,7 @@ func BenchmarkRealAllgather(b *testing.B) {
 	spec := encag.Spec{Procs: 32, Nodes: 4}
 	for _, alg := range encag.PaperAlgorithms() {
 		alg := alg
-		b.Run(alg, func(b *testing.B) {
+		b.Run(string(alg), func(b *testing.B) {
 			b.SetBytes(32 * 4096)
 			for i := 0; i < b.N; i++ {
 				res, err := encag.Run(spec, alg, 4096)

@@ -41,11 +41,11 @@ func main() {
 	spec := encag.Spec{Procs: *p, Nodes: *nodes, Mapping: *mapping}
 
 	type row struct {
-		name string
+		name encag.Alg
 		res  encag.SimResult
 	}
 	var rows []row
-	for _, alg := range append([]string{"mpi"}, encag.PaperAlgorithms()...) {
+	for _, alg := range append([]encag.Alg{encag.AlgMPI}, encag.PaperAlgorithms()...) {
 		res, err := encag.Simulate(spec, prof, alg, size)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", alg, err)

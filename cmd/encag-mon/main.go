@@ -32,7 +32,9 @@ func main() {
 	nodes := flag.Int("nodes", 2, "number of nodes")
 	mapping := flag.String("mapping", "block", "process mapping: block or cyclic")
 	engineStr := flag.String("engine", "tcp", "execution engine: chan or tcp")
-	algName := flag.String("alg", "hs2", "algorithm name (see encag-explore)")
+	algName := flag.String("alg", "hs2", "algorithm name (see encag-explore); \"auto\" consults the tuning table")
+	tablePath := flag.String("table", "", "tuning table JSON for alg=auto (default: $ENCAG_TUNING_TABLE, else built-in thresholds)")
+	refine := flag.Bool("refine", true, "let alg=auto fold this session's own latencies back into its estimates")
 	sizeStr := flag.String("size", "64KB", "message size")
 	window := flag.Int("window", 4, "nonblocking in-flight window")
 	pipeline := flag.Bool("pipeline", false, "stream sealed segments onto the wire inside each collective")
@@ -43,6 +45,10 @@ func main() {
 	flag.Parse()
 
 	size, err := bench.ParseSize(*sizeStr)
+	if err != nil {
+		fatal(err)
+	}
+	alg, err := encag.ParseAlg(*algName)
 	if err != nil {
 		fatal(err)
 	}
@@ -72,13 +78,23 @@ func main() {
 			opts = append(opts, encag.WithSegmentWindow(*segWindow))
 		}
 	}
+	if *tablePath != "" {
+		table, err := encag.LoadTuningTable(*tablePath)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, encag.WithTuningTable(table))
+	}
+	if !*refine {
+		opts = append(opts, encag.WithTuningRefinement(false))
+	}
 	sess, err := encag.OpenSession(context.Background(), spec, opts...)
 	if err != nil {
 		fatal(err)
 	}
 	defer sess.Close()
 	fmt.Printf("encag-mon: %s %s p=%d nodes=%d window=%d pipeline=%v\n",
-		engine, *algName, *p, *nodes, *window, *pipeline)
+		engine, alg, *p, *nodes, *window, *pipeline)
 	fmt.Printf("metrics at http://%s/metrics (also /debug/vars, /debug/pprof/)\n", sess.DebugAddr())
 
 	// Issue collectives until the context ends; the in-flight window is
@@ -86,7 +102,7 @@ func main() {
 	// full window, so ctx doubles as the admission bound.
 	var started int64
 	for ctx.Err() == nil {
-		h, err := sess.Start(ctx, *algName, size)
+		h, err := sess.Start(ctx, alg, size)
 		if err != nil {
 			if ctx.Err() != nil {
 				break
@@ -133,6 +149,13 @@ func main() {
 	if engine == encag.EngineTCP {
 		fmt.Printf("wire: %d bytes  reconnects=%d resends=%d dedup drops=%d\n",
 			snap.WireBytes, snap.Reconnects, snap.Resends, snap.DedupDrops)
+	}
+	if len(snap.AutoSelected) > 0 {
+		fmt.Printf("auto selected:")
+		for name, n := range snap.AutoSelected {
+			fmt.Printf(" %s=%d", name, n)
+		}
+		fmt.Println()
 	}
 }
 

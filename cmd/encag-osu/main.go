@@ -128,7 +128,15 @@ func main() {
 		}
 		sizes = append(sizes, v)
 	}
-	algs := strings.Split(*algsStr, ",")
+	var algs []encag.Alg
+	for _, name := range strings.Split(*algsStr, ",") {
+		alg, err := encag.ParseAlg(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		algs = append(algs, alg)
+	}
 
 	engine := encag.Engine(*engineStr)
 	if engine != encag.EngineChan && engine != encag.EngineTCP {
@@ -148,7 +156,7 @@ func main() {
 	}
 	// runOnce executes one collective in the selected mode: over the
 	// shared persistent session, or as an independent one-shot run.
-	runOnce := func(alg string, m int64) (*encag.RunResult, error) {
+	runOnce := func(alg encag.Alg, m int64) (*encag.RunResult, error) {
 		if sess != nil {
 			return sess.Run(context.Background(), alg, m)
 		}
@@ -171,7 +179,6 @@ func main() {
 			"alg", "size", "avg", "min", "max", "stddev", "rd", "sd")
 	}
 	for _, alg := range algs {
-		alg = strings.TrimSpace(alg)
 		for _, m := range sizes {
 			var total, minD, maxD time.Duration
 			var samples []float64

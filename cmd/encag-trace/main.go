@@ -50,6 +50,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	alg, err := encag.ParseAlg(*algName)
+	if err != nil {
+		fatal(err)
+	}
 	switch *format {
 	case "text", "chrome", "jsonl":
 	default:
@@ -70,40 +74,43 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, t, err := encag.SimulateTraced(spec, prof, *algName, size)
+		res, t, err := encag.SimulateTraced(spec, prof, alg, size)
 		if err != nil {
 			fatal(err)
 		}
 		tr = t
-		summary = obs.Summarize("sim", *algName, clusterSpec(spec), size,
-			res.Latency.Seconds(), res.Metrics, tr.Events)
+		summary = obs.Summarize("sim", string(alg), clusterSpec(spec), size,
+			res.Latency.Seconds(), res.Metrics, tr.Events).
+			WithSelected(string(res.Algorithm))
 		header = fmt.Sprintf("%s on p=%d nodes=%d %s, %s blocks [sim/%s]: predicted latency %v",
-			*algName, *p, *nodes, *mapping, bench.SizeName(size), *profName, res.Latency)
+			alg, *p, *nodes, *mapping, bench.SizeName(size), *profName, res.Latency)
 	case "real":
-		res, t, err := encag.RunTraced(spec, *algName, size)
+		res, t, err := encag.RunTraced(spec, alg, size)
 		if err != nil {
 			fatal(err)
 		}
 		tr = t
-		summary = obs.Summarize("real", *algName, clusterSpec(spec), size,
+		summary = obs.Summarize("real", string(alg), clusterSpec(spec), size,
 			res.Elapsed.Seconds(), res.Metrics, tr.Events).
 			WithSecurity(res.SecurityOK).
+			WithSelected(string(res.Algorithm)).
 			WithOp(res.OpID, 1)
 		header = fmt.Sprintf("%s on p=%d nodes=%d %s, %s blocks [real]: elapsed %v, security ok=%v",
-			*algName, *p, *nodes, *mapping, bench.SizeName(size), res.Elapsed, res.SecurityOK)
+			alg, *p, *nodes, *mapping, bench.SizeName(size), res.Elapsed, res.SecurityOK)
 	case "tcp":
-		res, t, err := encag.RunOverTCPTraced(spec, *algName, size)
+		res, t, err := encag.RunOverTCPTraced(spec, alg, size)
 		if err != nil {
 			fatal(err)
 		}
 		tr = t
-		summary = obs.Summarize("tcp", *algName, clusterSpec(spec), size,
+		summary = obs.Summarize("tcp", string(alg), clusterSpec(spec), size,
 			res.Elapsed.Seconds(), res.Metrics, tr.Events).
 			WithSecurity(res.SecurityOK).
 			WithWire(res.WireBytes, res.WireTruncated).
+			WithSelected(string(res.Algorithm)).
 			WithOp(res.OpID, 1)
 		header = fmt.Sprintf("%s on p=%d nodes=%d %s, %s blocks [tcp]: elapsed %v, security ok=%v, wire %d bytes (truncated=%v)",
-			*algName, *p, *nodes, *mapping, bench.SizeName(size), res.Elapsed, res.SecurityOK,
+			alg, *p, *nodes, *mapping, bench.SizeName(size), res.Elapsed, res.SecurityOK,
 			res.WireBytes, res.WireTruncated)
 	default:
 		fatal(fmt.Errorf("unknown engine %q (want sim, real or tcp)", *engine))

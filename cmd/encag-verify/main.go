@@ -138,7 +138,7 @@ func chaosSweep(seeds int, verbose bool) (int, int) {
 		{Procs: 8, Nodes: 4, RecvTimeout: 2 * time.Second},
 	}
 	cases, failures := 0, 0
-	report := func(kind, alg string, spec encag.Spec, seed int64, status string) {
+	report := func(kind string, alg encag.Alg, spec encag.Spec, seed int64, status string) {
 		if status != "ok" {
 			failures++
 			fmt.Printf("chaos %-10s %-8s p=%-4d N=%-2d seed=%-3d %s\n",

@@ -39,21 +39,22 @@
 //   - LowerBounds / Predict evaluate the paper's Table I bounds and
 //     Table II closed forms (pure analysis, no engine involved).
 //
-// Algorithms are selected by name — see Algorithms and PaperAlgorithms;
-// "auto" picks by message size the way production MPI libraries do.
-// Every algorithm name is valid on every engine.
+// Algorithms are selected by typed Alg constants (AlgORing, AlgHS2,
+// ...) — see Algorithms and PaperAlgorithms; AlgAuto picks per
+// operation the way production MPI libraries do, from a measured tuning
+// table when one is loaded (WithTuningTable) and from the
+// paper-calibrated byte thresholds otherwise. Every algorithm is valid
+// on every engine.
 package encag
 
 import (
 	"context"
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
 	"encag/internal/bounds"
 	"encag/internal/cluster"
-	"encag/internal/collective"
 	"encag/internal/cost"
 	"encag/internal/encrypted"
 	"encag/internal/fault"
@@ -148,55 +149,6 @@ func (s Spec) toCluster() (cluster.Spec, error) {
 	return cs, cs.Validate()
 }
 
-// lookup resolves an algorithm name to an implementation. Encrypted
-// algorithms use the paper's names; "plain-<name>" selects the
-// unencrypted counterpart of an encrypted algorithm; "mpi" is the
-// MVAPICH-style unencrypted baseline; plain classics are available as
-// "plain-ring"/"plain-rd"/"plain-bruck"/"plain-hier".
-func lookup(name string) (cluster.Algorithm, error) {
-	name = strings.ToLower(strings.TrimSpace(name))
-	switch name {
-	case "mpi", "mvapich":
-		return collective.AsAlgorithm(collective.MVAPICH(0)), nil
-	case "plain-ring":
-		return collective.AsAlgorithm(collective.Ring), nil
-	case "plain-ring-ro":
-		return collective.AsAlgorithm(collective.RankOrderedRing), nil
-	case "plain-rd":
-		return collective.AsAlgorithm(collective.RD), nil
-	case "plain-bruck":
-		return collective.AsAlgorithm(collective.Bruck), nil
-	case "plain-hier":
-		return collective.AsAlgorithm(collective.Hierarchical), nil
-	case "plain-neighbor":
-		return collective.AsAlgorithm(collective.NeighborExchange), nil
-	}
-	if base, ok := strings.CutPrefix(name, "plain-"); ok {
-		alg, err := encrypted.Get(base)
-		if err != nil {
-			return nil, err
-		}
-		return cluster.Plain(alg), nil
-	}
-	return encrypted.Get(name)
-}
-
-// Algorithms lists every selectable algorithm name. Every name runs on
-// every engine.
-func Algorithms() []string {
-	names := append([]string(nil), encrypted.Names()...)
-	for _, n := range encrypted.Names() {
-		names = append(names, "plain-"+n)
-	}
-	names = append(names, "mpi", "plain-ring", "plain-ring-ro", "plain-rd", "plain-bruck", "plain-hier", "plain-neighbor")
-	sort.Strings(names)
-	return names
-}
-
-// PaperAlgorithms lists the paper's eight encrypted algorithms in Table
-// II order.
-func PaperAlgorithms() []string { return encrypted.PaperNames() }
-
 // SimResult is the outcome of an EngineSim collective (Simulate,
 // Session.Simulate).
 type SimResult struct {
@@ -204,6 +156,9 @@ type SimResult struct {
 	Metrics    Metrics       // six-metric critical path
 	InterBytes float64       // bytes that crossed node boundaries
 	IntraBytes float64
+	// Algorithm is the algorithm that actually ran: the request's, or —
+	// for AlgAuto — the concrete algorithm the tuner selected.
+	Algorithm Alg
 }
 
 // Simulate runs an algorithm on the modelled cluster (EngineSim) and
@@ -213,7 +168,7 @@ type SimResult struct {
 // Deprecated: use OpenSession with WithEngine(EngineSim) and
 // WithProfile, then Session.Simulate, to run many simulations over one
 // session.
-func Simulate(spec Spec, prof Profile, algorithm string, msgSize int64) (SimResult, error) {
+func Simulate(spec Spec, prof Profile, algorithm Alg, msgSize int64) (SimResult, error) {
 	s, err := OpenSession(context.Background(), spec, WithEngine(EngineSim), WithProfile(prof))
 	if err != nil {
 		return SimResult{}, err
@@ -239,6 +194,9 @@ type RunResult struct {
 	// carried (ids start at 1). It labels the run's trace slices and
 	// JSONL summaries, letting overlapped operations be told apart.
 	OpID uint32
+	// Algorithm is the algorithm that actually ran: the request's, or —
+	// for AlgAuto — the concrete algorithm the tuner selected.
+	Algorithm Alg
 }
 
 // Allgather executes an encrypted all-gather for real over in-memory
@@ -248,13 +206,13 @@ type RunResult struct {
 //
 // Deprecated: use OpenSession and Session.Allgather to run many
 // collectives over one session.
-func Allgather(spec Spec, algorithm string, data [][]byte) (*RunResult, error) {
+func Allgather(spec Spec, algorithm Alg, data [][]byte) (*RunResult, error) {
 	return allgather(spec, algorithm, data, nil)
 }
 
 // allgather backs the deprecated one-shot chan-engine entry points with
 // a single-use Session.
-func allgather(spec Spec, algorithm string, data [][]byte, col *TraceCollector) (*RunResult, error) {
+func allgather(spec Spec, algorithm Alg, data [][]byte, col *TraceCollector) (*RunResult, error) {
 	var opts []Option
 	if col != nil {
 		opts = append(opts, WithTracer(col))
@@ -275,7 +233,7 @@ func allgather(spec Spec, algorithm string, data [][]byte, col *TraceCollector) 
 //
 // Deprecated: use OpenSession and Session.AllgatherV to run many
 // collectives over one session.
-func AllgatherV(spec Spec, algorithm string, data [][]byte) (*RunResult, error) {
+func AllgatherV(spec Spec, algorithm Alg, data [][]byte) (*RunResult, error) {
 	s, err := OpenSession(context.Background(), spec)
 	if err != nil {
 		return nil, err
@@ -289,7 +247,7 @@ func AllgatherV(spec Spec, algorithm string, data [][]byte) (*RunResult, error) 
 //
 // Deprecated: use OpenSession with WithEngine(EngineSim) and
 // WithProfile, then Session.SimulateV.
-func SimulateV(spec Spec, prof Profile, algorithm string, sizes []int64) (SimResult, error) {
+func SimulateV(spec Spec, prof Profile, algorithm Alg, sizes []int64) (SimResult, error) {
 	s, err := OpenSession(context.Background(), spec, WithEngine(EngineSim), WithProfile(prof))
 	if err != nil {
 		return SimResult{}, err
@@ -322,7 +280,7 @@ type TCPResult struct {
 // Session.Run — a session dials the connection mesh once and reuses it
 // for every collective, while this wrapper re-pays the O(p²) setup on
 // every call.
-func RunOverTCP(spec Spec, algorithm string, msgSize int64) (*TCPResult, error) {
+func RunOverTCP(spec Spec, algorithm Alg, msgSize int64) (*TCPResult, error) {
 	return runOverTCP(spec, algorithm, msgSize, nil, nil)
 }
 
@@ -376,7 +334,7 @@ type RankError = cluster.RankError
 //
 // Deprecated: use OpenSession with WithEngine(EngineTCP) and
 // WithFaultPlan (or a per-operation WithFaultPlan on Session.Run).
-func RunTCPFaulty(spec Spec, algorithm string, msgSize int64, plan *FaultPlan) (*TCPResult, error) {
+func RunTCPFaulty(spec Spec, algorithm Alg, msgSize int64, plan *FaultPlan) (*TCPResult, error) {
 	return runOverTCP(spec, algorithm, msgSize, nil, plan)
 }
 
@@ -389,7 +347,7 @@ func RunTCPFaulty(spec Spec, algorithm string, msgSize int64, plan *FaultPlan) (
 //
 // Deprecated: use OpenSession with WithFaultPlan (or a per-operation
 // WithFaultPlan on Session.Run).
-func RunFaulty(spec Spec, algorithm string, msgSize int64, plan *FaultPlan) (*RunResult, error) {
+func RunFaulty(spec Spec, algorithm Alg, msgSize int64, plan *FaultPlan) (*RunResult, error) {
 	if plan == nil {
 		plan = &FaultPlan{} // keep the strict faulty-path validation
 	}
@@ -403,7 +361,7 @@ func RunFaulty(spec Spec, algorithm string, msgSize int64, plan *FaultPlan) (*Ru
 
 // runOverTCP backs the deprecated one-shot tcp-engine entry points with
 // a single-use Session.
-func runOverTCP(spec Spec, algorithm string, msgSize int64, col *TraceCollector, plan *FaultPlan) (*TCPResult, error) {
+func runOverTCP(spec Spec, algorithm Alg, msgSize int64, col *TraceCollector, plan *FaultPlan) (*TCPResult, error) {
 	opts := []Option{WithEngine(EngineTCP)}
 	if col != nil {
 		opts = append(opts, WithTracer(col))
@@ -435,7 +393,7 @@ func runOverTCP(spec Spec, algorithm string, msgSize int64, col *TraceCollector,
 //
 // Deprecated: use OpenSession and Session.Run to run many collectives
 // over one session.
-func Run(spec Spec, algorithm string, msgSize int64) (*RunResult, error) {
+func Run(spec Spec, algorithm Alg, msgSize int64) (*RunResult, error) {
 	s, err := OpenSession(context.Background(), spec)
 	if err != nil {
 		return nil, err
@@ -450,7 +408,7 @@ func Run(spec Spec, algorithm string, msgSize int64) (*RunResult, error) {
 // since the collective started.
 //
 // Deprecated: use OpenSession with WithTracer and Session.Run.
-func RunTraced(spec Spec, algorithm string, msgSize int64) (*RunResult, *Trace, error) {
+func RunTraced(spec Spec, algorithm Alg, msgSize int64) (*RunResult, *Trace, error) {
 	col := &TraceCollector{}
 	s, err := OpenSession(context.Background(), spec, WithTracer(col))
 	if err != nil {
@@ -467,7 +425,7 @@ func RunTraced(spec Spec, algorithm string, msgSize int64) (*RunResult, *Trace, 
 // AllgatherTraced is Allgather with wall-clock tracing (see RunTraced).
 //
 // Deprecated: use OpenSession with WithTracer and Session.Allgather.
-func AllgatherTraced(spec Spec, algorithm string, data [][]byte) (*RunResult, *Trace, error) {
+func AllgatherTraced(spec Spec, algorithm Alg, data [][]byte) (*RunResult, *Trace, error) {
 	col := &TraceCollector{}
 	res, err := allgather(spec, algorithm, data, col)
 	if err != nil {
@@ -482,7 +440,7 @@ func AllgatherTraced(spec Spec, algorithm string, data [][]byte) (*RunResult, *T
 //
 // Deprecated: use OpenSession with WithEngine(EngineTCP) and WithTracer,
 // then Session.Run.
-func RunOverTCPTraced(spec Spec, algorithm string, msgSize int64) (*TCPResult, *Trace, error) {
+func RunOverTCPTraced(spec Spec, algorithm Alg, msgSize int64) (*TCPResult, *Trace, error) {
 	col := &TraceCollector{}
 	res, err := runOverTCP(spec, algorithm, msgSize, col, nil)
 	if err != nil {
@@ -497,7 +455,7 @@ func RunOverTCPTraced(spec Spec, algorithm string, msgSize int64) (*TCPResult, *
 //
 // Deprecated: use OpenSession with WithEngine(EngineSim), WithProfile
 // and WithTracer, then Session.Simulate.
-func SimulateTraced(spec Spec, prof Profile, algorithm string, msgSize int64) (SimResult, *Trace, error) {
+func SimulateTraced(spec Spec, prof Profile, algorithm Alg, msgSize int64) (SimResult, *Trace, error) {
 	col := &TraceCollector{}
 	s, err := OpenSession(context.Background(), spec,
 		WithEngine(EngineSim), WithProfile(prof), WithTracer(col))
@@ -554,6 +512,6 @@ func LowerBounds(p, n int, m int64) BoundSet { return bounds.Lower(p, n, m) }
 
 // Predict evaluates the paper's Table II closed forms (power-of-two p
 // and N, block mapping; pure analysis, no engine involved).
-func Predict(algorithm string, p, n int, m int64) (BoundSet, error) {
-	return bounds.Predict(algorithm, p, n, m)
+func Predict(algorithm Alg, p, n int, m int64) (BoundSet, error) {
+	return bounds.Predict(string(algorithm), p, n, m)
 }

@@ -78,7 +78,7 @@ func TestUnknownNames(t *testing.T) {
 
 func TestAlgorithmsListComplete(t *testing.T) {
 	names := Algorithms()
-	for _, want := range []string{"naive", "o-ring", "o-rd", "o-rd2", "c-ring", "c-rd", "hs1", "hs2", "mpi", "plain-hs1"} {
+	for _, want := range []Alg{AlgNaive, AlgORing, AlgORD, AlgORD2, AlgCRing, AlgCRD, AlgHS1, AlgHS2, AlgMPI, "plain-hs1"} {
 		found := false
 		for _, n := range names {
 			if n == want {

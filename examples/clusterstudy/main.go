@@ -41,7 +41,7 @@ func main() {
 
 	spec := encag.Spec{Procs: 64, Nodes: 8}
 	sizes := []int64{64, 1 << 10, 16 << 10, 256 << 10, 1 << 20}
-	algs := append([]string{"mpi"}, encag.PaperAlgorithms()...)
+	algs := append([]encag.Alg{encag.AlgMPI}, encag.PaperAlgorithms()...)
 
 	fmt.Printf("Cluster study: p=%d nodes=%d profile=%s\n\n", spec.Procs, spec.Nodes, cloud.Name)
 	fmt.Printf("%-8s", "size")
@@ -52,7 +52,7 @@ func main() {
 
 	for _, m := range sizes {
 		fmt.Printf("%-8s", sizeName(m))
-		bestAlg, bestLat := "", 0.0
+		bestAlg, bestLat := encag.Alg(""), 0.0
 		for _, a := range algs {
 			res, err := encag.Simulate(spec, cloud, a, m)
 			if err != nil {

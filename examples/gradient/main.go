@@ -51,7 +51,7 @@ func main() {
 		}
 	}
 
-	for _, alg := range []string{"naive", "o-rd", "c-ring", "hs1", "hs2", "auto"} {
+	for _, alg := range []encag.Alg{encag.AlgNaive, encag.AlgORD, encag.AlgCRing, encag.AlgHS1, encag.AlgHS2, encag.AlgAuto} {
 		res, err := encag.Allgather(spec, alg, payloads)
 		if err != nil {
 			log.Fatalf("%s: %v", alg, err)

@@ -20,7 +20,7 @@ func main() {
 	spec := encag.Spec{Procs: 8, Nodes: 4}
 	const m = 256
 
-	for _, alg := range []string{"plain-hs2", "hs2"} {
+	for _, alg := range []encag.Alg{encag.PlainOf(encag.AlgHS2), encag.AlgHS2} {
 		res, err := encag.RunOverTCP(spec, alg, m)
 		if err != nil {
 			log.Fatalf("%s: %v", alg, err)

@@ -208,7 +208,7 @@ func TableII(opts Options) ([]Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := encag.Simulate(spec, encag.Noleland(), alg, m)
+		res, err := encag.Simulate(spec, encag.Noleland(), encag.Alg(alg), m)
 		if err != nil {
 			return nil, err
 		}
@@ -251,7 +251,7 @@ func TableIICyclic(opts Options) ([]Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := encag.Simulate(spec, encag.Noleland(), alg, m)
+		res, err := encag.Simulate(spec, encag.Noleland(), encag.Alg(alg), m)
 		if err != nil {
 			return nil, err
 		}
@@ -267,10 +267,10 @@ func TableIICyclic(opts Options) ([]Table, error) {
 }
 
 // bestCandidates are the paper's proposed schemes (everything but Naive).
-func bestCandidates() []string {
-	var out []string
+func bestCandidates() []encag.Alg {
+	var out []encag.Alg
 	for _, a := range encag.PaperAlgorithms() {
-		if a != "naive" {
+		if a != encag.AlgNaive {
 			out = append(out, a)
 		}
 	}
@@ -305,7 +305,7 @@ func overheadTable(id, title string, spec encag.Spec, prof encag.Profile,
 		if err != nil {
 			return nil, err
 		}
-		bestName, bestLat := "", math.Inf(1)
+		bestName, bestLat := encag.Alg(""), math.Inf(1)
 		for _, cand := range bestCandidates() {
 			r, err := encag.Simulate(spec, prof, cand, m)
 			if err != nil {
@@ -321,7 +321,7 @@ func overheadTable(id, title string, spec encag.Spec, prof encag.Profile,
 			fmtUS(mpiLat),
 			fmtPct(100 * (naive.Latency.Seconds() - mpiLat) / mpiLat),
 			fmtPct(100 * (bestLat - mpiLat) / mpiLat),
-			bestName,
+			string(bestName),
 		}
 		if pr, ok := paperBySize[m]; ok {
 			row = append(row, fmtUS(pr.MPIMicros/1e6), fmtPct(pr.NaivePct), fmtPct(pr.BestPct), pr.BestScheme)
@@ -379,12 +379,16 @@ func TableVI(opts Options) ([]Table, error) {
 
 // figurePanel builds one latency-vs-size panel.
 func figurePanel(id, title string, spec encag.Spec, prof encag.Profile,
-	sizes []int64, series []string, opts Options) (Table, error) {
+	sizes []int64, series []encag.Alg, opts Options) (Table, error) {
+	hdr := []string{"size"}
+	for _, a := range series {
+		hdr = append(hdr, string(a))
+	}
 	t := Table{
 		ID:      id,
 		Title:   title,
 		YUnit:   "latency (us)",
-		Headers: append([]string{"size"}, series...),
+		Headers: hdr,
 		Notes:   []string{"latency in microseconds (us)"},
 	}
 	for _, m := range trimSizes(sizes, opts) {
@@ -406,7 +410,7 @@ func figure(idPrefix string, spec encag.Spec, prof encag.Profile, opts Options,
 		suffix string
 		title  string
 		sizes  []int64
-		series []string
+		series []encag.Alg
 	}) ([]Table, error) {
 	var out []Table
 	for _, pn := range panels {
@@ -423,7 +427,7 @@ type panelDef = struct {
 	suffix string
 	title  string
 	sizes  []int64
-	series []string
+	series []encag.Alg
 }
 
 // Figure5: unencrypted counterparts, block mapping, p=128 N=8.
@@ -434,11 +438,11 @@ func Figure5(opts Options) ([]Table, error) {
 	}
 	return figure("fig5", spec, encag.Noleland(), opts, []panelDef{
 		{"a", "small messages (unencrypted counterparts, block)", sizesFig5a,
-			[]string{"mpi", "plain-c-rd", "plain-hs1"}},
+			[]encag.Alg{"mpi", "plain-c-rd", "plain-hs1"}},
 		{"b", "medium messages (unencrypted counterparts, block)", sizesFig5b,
-			[]string{"mpi", "plain-c-ring", "plain-c-rd", "plain-hs1"}},
+			[]encag.Alg{"mpi", "plain-c-ring", "plain-c-rd", "plain-hs1"}},
 		{"c", "large messages (unencrypted counterparts, block)", sizesFig5c,
-			[]string{"mpi", "plain-c-ring", "plain-c-rd", "plain-hs1"}},
+			[]encag.Alg{"mpi", "plain-c-ring", "plain-c-rd", "plain-hs1"}},
 	})
 }
 
@@ -450,11 +454,11 @@ func Figure6(opts Options) ([]Table, error) {
 	}
 	return figure("fig6", spec, encag.Noleland(), opts, []panelDef{
 		{"a", "small messages (unencrypted counterparts, cyclic)", sizesFig6a,
-			[]string{"mpi", "plain-c-rd", "plain-hs1"}},
+			[]encag.Alg{"mpi", "plain-c-rd", "plain-hs1"}},
 		{"b", "medium messages (unencrypted counterparts, cyclic)", sizesFig6b,
-			[]string{"mpi", "plain-c-ring", "plain-c-rd", "plain-hs1"}},
+			[]encag.Alg{"mpi", "plain-c-ring", "plain-c-rd", "plain-hs1"}},
 		{"c", "large messages (unencrypted counterparts, cyclic)", sizesFig6c,
-			[]string{"plain-c-ring", "plain-hs1"}},
+			[]encag.Alg{"plain-c-ring", "plain-hs1"}},
 	})
 }
 
@@ -466,11 +470,11 @@ func Figure7(opts Options) ([]Table, error) {
 	}
 	return figure("fig7", spec, encag.Noleland(), opts, []panelDef{
 		{"a", "small messages (encrypted, block)", sizesFig7a,
-			[]string{"o-rd", "o-rd2", "c-rd", "hs1"}},
+			[]encag.Alg{"o-rd", "o-rd2", "c-rd", "hs1"}},
 		{"b", "medium messages (encrypted, block)", sizesFig7b,
-			[]string{"c-ring", "c-rd", "hs1", "hs2"}},
+			[]encag.Alg{"c-ring", "c-rd", "hs1", "hs2"}},
 		{"c", "large messages (encrypted, block)", sizesFig7c,
-			[]string{"o-ring", "c-ring", "c-rd", "hs1", "hs2"}},
+			[]encag.Alg{"o-ring", "c-ring", "c-rd", "hs1", "hs2"}},
 	})
 }
 
@@ -482,11 +486,11 @@ func Figure8(opts Options) ([]Table, error) {
 	}
 	return figure("fig8", spec, encag.Noleland(), opts, []panelDef{
 		{"a", "small messages (encrypted, cyclic)", sizesFig8a,
-			[]string{"o-rd", "o-rd2", "c-rd", "hs1"}},
+			[]encag.Alg{"o-rd", "o-rd2", "c-rd", "hs1"}},
 		{"b", "medium messages (encrypted, cyclic)", sizesFig8b,
-			[]string{"c-ring", "hs1", "hs2"}},
+			[]encag.Alg{"c-ring", "hs1", "hs2"}},
 		{"c", "large messages (encrypted, cyclic)", sizesFig8c,
-			[]string{"o-rd2", "c-ring", "hs1", "hs2"}},
+			[]encag.Alg{"o-rd2", "c-ring", "hs1", "hs2"}},
 	})
 }
 
@@ -528,7 +532,7 @@ func Sensitivity(opts Options) ([]Table, error) {
 			fmt.Sprintf("%.1f", gbps),
 			fmt.Sprintf("%.1f", base.CoreBW/1e9/gbps),
 		}
-		for _, alg := range []string{"naive", "hs2", "c-ring"} {
+		for _, alg := range []encag.Alg{encag.AlgNaive, encag.AlgHS2, encag.AlgCRing} {
 			r, err := encag.Simulate(spec, prof, alg, m)
 			if err != nil {
 				return nil, err
@@ -560,7 +564,7 @@ func Breakdown(opts Options) ([]Table, error) {
 			Notes: []string{"recv-wait includes time blocked waiting for data; send includes startup + transfer occupancy"},
 		}
 		for _, name := range encag.PaperAlgorithms() {
-			alg, err := encrypted.Get(name)
+			alg, err := encrypted.Get(string(name))
 			if err != nil {
 				return nil, err
 			}
@@ -570,7 +574,7 @@ func Breakdown(opts Options) ([]Table, error) {
 				return nil, err
 			}
 			crit := col.Critical(spec.P)
-			row := []string{name, fmtUS(res.Latency)}
+			row := []string{string(name), fmtUS(res.Latency)}
 			for _, k := range []cluster.TraceKind{cluster.TraceSend, cluster.TraceRecv,
 				cluster.TraceEncrypt, cluster.TraceDecrypt, cluster.TraceCopy, cluster.TraceBarrier} {
 				row = append(row, fmtUS(crit.Total[k]))
@@ -600,7 +604,7 @@ func Ablations(opts Options) ([]Table, error) {
 		Notes:   []string{"contention is what separates the concurrent/hierarchical schemes from naive at scale"},
 	}
 	const m1 = 256 << 10
-	for _, alg := range []string{"naive", "c-ring", "hs2"} {
+	for _, alg := range []encag.Alg{encag.AlgNaive, encag.AlgCRing, encag.AlgHS2} {
 		a, err := encag.Simulate(spec, prof, alg, m1)
 		if err != nil {
 			return nil, err
@@ -609,7 +613,7 @@ func Ablations(opts Options) ([]Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t1.Rows = append(t1.Rows, []string{alg, fmtUS(a.Latency.Seconds()), fmtUS(b.Latency.Seconds())})
+		t1.Rows = append(t1.Rows, []string{string(alg), fmtUS(a.Latency.Seconds()), fmtUS(b.Latency.Seconds())})
 	}
 	out = append(out, t1)
 

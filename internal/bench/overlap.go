@@ -59,7 +59,7 @@ func Overlap(opts Options) ([]Table, error) {
 	variants := []struct {
 		label string
 		eng   encag.Engine
-		alg   string
+		alg   encag.Alg
 		piped bool
 	}{
 		{"chan", encag.EngineChan, "c-ring", false},
@@ -84,7 +84,7 @@ func Overlap(opts Options) ([]Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row := []string{v.label, v.alg, SizeName(m), fmt.Sprint(ops), fmtUS(serialized.Seconds())}
+			row := []string{v.label, string(v.alg), SizeName(m), fmt.Sprint(ops), fmtUS(serialized.Seconds())}
 			best := serialized
 			for _, w := range windows {
 				d, err := timeOverlap(v.eng, spec, v.alg, m, ops, w, v.piped)
@@ -107,7 +107,7 @@ func Overlap(opts Options) ([]Table, error) {
 // in-flight window: window 1 issues them serially through Run, larger
 // windows through Start/WaitAll. Open, one warm-up collective and Close
 // stay outside the timed region.
-func timeOverlap(eng encag.Engine, spec encag.Spec, alg string, m int64, ops, window int, piped bool) (time.Duration, error) {
+func timeOverlap(eng encag.Engine, spec encag.Spec, alg encag.Alg, m int64, ops, window int, piped bool) (time.Duration, error) {
 	ctx := context.Background()
 	sopts := []encag.Option{encag.WithEngine(eng), encag.WithMaxInFlight(window)}
 	if piped {

@@ -24,7 +24,7 @@ func SessionAmortization(opts Options) ([]Table, error) {
 		iters = 4
 	}
 	spec := encag.Spec{Procs: 8, Nodes: 2}
-	algs := []string{"hs1", "hs2", "c-ring"}
+	algs := []encag.Alg{encag.AlgHS1, encag.AlgHS2, encag.AlgCRing}
 	sizes := trimSizes(sizes("1KB", "64KB"), opts)
 	t := Table{
 		ID:    "session",
@@ -48,7 +48,7 @@ func SessionAmortization(opts Options) ([]Table, error) {
 				return nil, err
 			}
 			t.Rows = append(t.Rows, []string{
-				alg, SizeName(m), fmt.Sprint(iters),
+				string(alg), SizeName(m), fmt.Sprint(iters),
 				fmtUS(perCall.Seconds()), fmtUS(perCall.Seconds() / float64(iters)),
 				fmtUS(session.Seconds()), fmtUS(session.Seconds() / float64(iters)),
 				fmt.Sprintf("%.2fx", perCall.Seconds()/session.Seconds()),
@@ -60,7 +60,7 @@ func SessionAmortization(opts Options) ([]Table, error) {
 
 // timePerCall times iters collectives through the deprecated one-shot
 // path: every call dials (and tears down) its own mesh.
-func timePerCall(spec encag.Spec, alg string, m int64, iters int) (time.Duration, error) {
+func timePerCall(spec encag.Spec, alg encag.Alg, m int64, iters int) (time.Duration, error) {
 	// One untimed warm-up outside the loop evens out lazy init.
 	if _, err := encag.RunOverTCP(spec, alg, m); err != nil {
 		return 0, err
@@ -80,7 +80,7 @@ func timePerCall(spec encag.Spec, alg string, m int64, iters int) (time.Duration
 
 // timeSession times the same workload over one persistent session,
 // including OpenSession and Close in the measurement.
-func timeSession(spec encag.Spec, alg string, m int64, iters int) (time.Duration, error) {
+func timeSession(spec encag.Spec, alg encag.Alg, m int64, iters int) (time.Duration, error) {
 	ctx := context.Background()
 	start := time.Now()
 	s, err := encag.OpenSession(ctx, spec, encag.WithEngine(encag.EngineTCP))

@@ -258,6 +258,11 @@ type SessionSnapshot struct {
 	Window         int
 	WindowInFlight int
 	WindowWaits    int64
+
+	// AutoSelected counts alg=auto resolutions by chosen algorithm
+	// name. Filled by the facade layer (selection happens there); nil
+	// when no auto operation has run.
+	AutoSelected map[string]int64
 }
 
 // Metrics returns the session's live metrics registry. Counters update

@@ -139,6 +139,10 @@ type RunSummary struct {
 	PhaseQuantiles map[string]PhaseQuantiles `json:"phase_quantiles,omitempty"`
 	SecurityOK     *bool                     `json:"security_ok,omitempty"` // real/tcp only
 	Wire           *WireSummary              `json:"wire,omitempty"`        // tcp only
+	// Selected is the concrete algorithm that actually ran, making
+	// traces of alg=auto runs attributable. Omitted when it matches the
+	// requested Algorithm.
+	Selected string `json:"selected_alg,omitempty"`
 	// OpID is the session operation id of the summarized collective
 	// (session runs only; 0 for one-shot and sim runs).
 	OpID uint32 `json:"op_id,omitempty"`
@@ -228,6 +232,16 @@ func (s RunSummary) WithSecurity(ok bool) RunSummary {
 // WithWire records the WireSniffer capture totals (TCP runs).
 func (s RunSummary) WithWire(bytes int64, truncated bool) RunSummary {
 	s.Wire = &WireSummary{Bytes: bytes, Truncated: truncated}
+	return s
+}
+
+// WithSelected records the concrete algorithm an alg=auto run resolved
+// to. A selection equal to the requested algorithm is dropped — the
+// field only appears when it adds information.
+func (s RunSummary) WithSelected(alg string) RunSummary {
+	if alg != s.Algorithm && alg != "" {
+		s.Selected = alg
+	}
 	return s
 }
 

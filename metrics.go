@@ -33,4 +33,7 @@ const (
 	MetricWindowInFlight = "encag_sched_window_inflight"
 	// MetricWindowWaits counts Start calls that blocked on a full window.
 	MetricWindowWaits = "encag_sched_window_waits_total"
+	// MetricAutoSelected counts AlgAuto resolutions by the concrete
+	// algorithm chosen, as encag_auto_selected_total{alg="..."}.
+	MetricAutoSelected = "encag_auto_selected_total"
 )

@@ -70,8 +70,15 @@ func (h *Handle) TryWait() (res *RunResult, err error, ok bool) {
 // whose RunResult carries the modelled metrics and latency (Gathered is
 // nil: sim payloads are symbolic). Per-op options: WithTracer,
 // WithFaultPlan.
-func (s *Session) Start(ctx context.Context, algorithm string, msgSize int64, opts ...Option) (*Handle, error) {
+//
+// An unknown algorithm name fails Start itself with a structured
+// *UnknownAlgorithmError — the same fail-fast validation as the
+// blocking methods — rather than deferring the failure to the handle.
+func (s *Session) Start(ctx context.Context, algorithm Alg, msgSize int64, opts ...Option) (*Handle, error) {
 	if _, err := opLevel(opts); err != nil {
+		return nil, err
+	}
+	if _, err := ParseAlg(string(algorithm)); err != nil {
 		return nil, err
 	}
 	if s.engine == EngineSim {
@@ -85,6 +92,7 @@ func (s *Session) Start(ctx context.Context, algorithm string, msgSize int64, op
 			// there is nothing for the security audit to flag.
 			SecurityOK: true,
 			Elapsed:    res.Latency,
+			Algorithm:  res.Algorithm,
 		}
 		return &Handle{h: sched.Completed(rr, nil)}, nil
 	}

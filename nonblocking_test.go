@@ -46,7 +46,7 @@ func TestStartConcurrentDistinctAlgorithmsTCP(t *testing.T) {
 	}
 
 	// Serialized baseline over the same mesh.
-	want := make(map[string][][][]byte, len(algos))
+	want := make(map[encag.Alg][][][]byte, len(algos))
 	for _, algo := range algos {
 		res, err := s.Run(context.Background(), algo, msgSize)
 		if err != nil {
@@ -56,7 +56,7 @@ func TestStartConcurrentDistinctAlgorithmsTCP(t *testing.T) {
 	}
 
 	// All four in flight at once, interleaving on the shared links.
-	handles := make(map[string]*encag.Handle, len(algos))
+	handles := make(map[encag.Alg]*encag.Handle, len(algos))
 	for _, algo := range algos {
 		h, err := s.Start(context.Background(), algo, msgSize)
 		if err != nil {
@@ -72,7 +72,7 @@ func TestStartConcurrentDistinctAlgorithmsTCP(t *testing.T) {
 		if !res.SecurityOK {
 			t.Fatalf("concurrent %s: security violations %v", algo, res.Violations)
 		}
-		sameGather(t, "concurrent "+algo, res.Gathered, want[algo])
+		sameGather(t, "concurrent "+string(algo), res.Gathered, want[algo])
 	}
 	if err := s.WaitAll(context.Background()); err != nil {
 		t.Fatalf("WaitAll after drain: %v", err)
@@ -298,13 +298,15 @@ func TestStartSimSynchronous(t *testing.T) {
 	if s.InFlight() != 0 {
 		t.Fatalf("sim InFlight() = %d, want 0", s.InFlight())
 	}
-	// A sim-level failure travels through the handle, not through Start.
-	bad, err := s.Start(context.Background(), "no-such-algo", 1<<16)
-	if err != nil {
-		t.Fatalf("Start must deliver sim errors via the handle: %v", err)
-	}
-	if _, herr, ok := bad.TryWait(); !ok || herr == nil {
-		t.Fatalf("bad-algorithm handle = (%v, %v), want resolved error", herr, ok)
+	// An unknown algorithm fails Start itself, structured, on every
+	// engine — the fail-fast contract of the typed API.
+	if _, err := s.Start(context.Background(), "no-such-algo", 1<<16); err == nil {
+		t.Fatal("Start accepted an unknown algorithm")
+	} else {
+		var ue *encag.UnknownAlgorithmError
+		if !errors.As(err, &ue) || ue.Name != "no-such-algo" || len(ue.Valid) == 0 {
+			t.Fatalf("Start error = %v, want *UnknownAlgorithmError listing valid names", err)
+		}
 	}
 	select {
 	case <-h.Done():

@@ -22,7 +22,7 @@ func TestSessionPipelining(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", engine, err)
 		}
-		for _, algo := range []string{"o-ring", "hs1", "hs2"} {
+		for _, algo := range []Alg{AlgORing, AlgHS1, AlgHS2} {
 			want, err := serial.Run(context.Background(), algo, msgSize)
 			if err != nil {
 				t.Fatalf("%s/%s serial: %v", engine, algo, err)

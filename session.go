@@ -5,12 +5,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"encag/internal/block"
 	"encag/internal/cluster"
 	"encag/internal/encrypted"
+	"encag/internal/metrics"
 	"encag/internal/sched"
 	"encag/internal/trace"
+	"encag/internal/tune"
 )
 
 // Engine names a Session execution backend.
@@ -82,6 +85,10 @@ type sessionOptions struct {
 	pipeSet     bool
 	segWindow   int
 	segWinSet   bool
+	tuning      *tune.Table
+	tuningSet   bool
+	refine      bool
+	refineSet   bool
 }
 
 // Option configures OpenSession or an individual Session operation.
@@ -188,6 +195,12 @@ func opLevel(opts []Option) (*sessionOptions, error) {
 	if o.segWinSet {
 		return nil, errors.New("encag: WithSegmentWindow is a session-level option; pass it to OpenSession")
 	}
+	if o.tuningSet {
+		return nil, errors.New("encag: WithTuningTable is a session-level option; pass it to OpenSession")
+	}
+	if o.refineSet {
+		return nil, errors.New("encag: WithTuningRefinement is a session-level option; pass it to OpenSession")
+	}
 	return o, nil
 }
 
@@ -218,6 +231,16 @@ type Session struct {
 	inner  *cluster.Session
 	nb     *sched.Scheduler[*RunResult] // nonblocking in-flight window
 	dbg    *debugServer                 // nil unless WithDebugServer
+
+	// AlgAuto machinery: the tuner resolves auto operations to concrete
+	// algorithms (tuning table + online refinement), pipelined keys the
+	// tuning cell, and autoSel caches the per-algorithm selection
+	// counters of the encag_auto_selected_total family.
+	tuner     *tune.Tuner
+	refine    bool
+	pipelined bool
+	autoMu    sync.Mutex
+	autoSel   map[Alg]*metrics.Counter
 }
 
 // OpenSession validates the spec, stands up the persistent engine state
@@ -242,6 +265,10 @@ func OpenSession(ctx context.Context, spec Spec, opts ...Option) (*Session, erro
 			return nil, err
 		}
 	}
+	tab, err := sessionTuning(o)
+	if err != nil {
+		return nil, err
+	}
 	cfg := cluster.SessionConfig{Engine: kind, Plan: o.plan, Profile: o.profile}
 	if o.pipeSet {
 		cfg.Pipeline = cluster.PipelineConfig{Enabled: o.pipelining, SegmentWindow: o.segWindow}
@@ -258,12 +285,16 @@ func OpenSession(ctx context.Context, spec Spec, opts ...Option) (*Session, erro
 		eng = EngineChan
 	}
 	s := &Session{
-		spec:   spec,
-		cs:     cs,
-		engine: eng,
-		plan:   o.plan,
-		inner:  inner,
-		nb:     sched.New[*RunResult](o.maxInFlight),
+		spec:      spec,
+		cs:        cs,
+		engine:    eng,
+		plan:      o.plan,
+		inner:     inner,
+		nb:        sched.New[*RunResult](o.maxInFlight),
+		tuner:     tune.NewTuner(tab, autoCandidate),
+		refine:    !o.refineSet || o.refine,
+		pipelined: o.pipeSet && o.pipelining,
+		autoSel:   make(map[Alg]*metrics.Counter),
 	}
 	// The nonblocking window lives in this layer, so its metrics are
 	// registered here, into the same registry the cluster session fills.
@@ -327,6 +358,14 @@ func (s *Session) Snapshot() MetricsSnapshot {
 	snap.Window = s.nb.MaxInFlight()
 	snap.WindowInFlight = s.nb.InFlight()
 	snap.WindowWaits = s.nb.WindowWaits()
+	s.autoMu.Lock()
+	if len(s.autoSel) > 0 {
+		snap.AutoSelected = make(map[string]int64, len(s.autoSel))
+		for a, c := range s.autoSel {
+			snap.AutoSelected[string(a)] = c.Value()
+		}
+	}
+	s.autoMu.Unlock()
 	return snap
 }
 
@@ -434,7 +473,7 @@ func (s *Session) runResult(res *cluster.RealResult, sizes []int64, msgSize int6
 
 // validateUniform applies the engine-appropriate end-of-run gather
 // validation for self-generated (deterministic-pattern) payloads.
-func (s *Session) validateUniform(algorithm string, msgSize int64, res *cluster.RealResult, o *sessionOptions) error {
+func (s *Session) validateUniform(algorithm Alg, msgSize int64, res *cluster.RealResult, o *sessionOptions) error {
 	checkPayload := s.engine == EngineTCP || s.planActive(o)
 	err := cluster.ValidateGather(s.cs, msgSize, res.Results, checkPayload)
 	if err == nil {
@@ -456,12 +495,12 @@ func (s *Session) validateUniform(algorithm string, msgSize int64, res *cluster.
 // Run executes one encrypted all-gather with deterministic per-rank test
 // payloads of msgSize bytes on the session's chan or tcp engine (use
 // Simulate on sim sessions). Per-op options: WithTracer, WithFaultPlan.
-func (s *Session) Run(ctx context.Context, algorithm string, msgSize int64, opts ...Option) (*RunResult, error) {
+func (s *Session) Run(ctx context.Context, algorithm Alg, msgSize int64, opts ...Option) (*RunResult, error) {
 	o, err := opLevel(opts)
 	if err != nil {
 		return nil, err
 	}
-	alg, err := lookup(algorithm)
+	alg, used, err := s.resolveAlg(algorithm, msgSize)
 	if err != nil {
 		return nil, err
 	}
@@ -471,16 +510,22 @@ func (s *Session) Run(ctx context.Context, algorithm string, msgSize int64, opts
 	if err != nil {
 		return nil, err
 	}
-	if err := s.validateUniform(algorithm, msgSize, res, o); err != nil {
+	if err := s.validateUniform(used, msgSize, res, o); err != nil {
 		return nil, err
 	}
-	return s.runResult(res, nil, msgSize)
+	out, err := s.runResult(res, nil, msgSize)
+	if err != nil {
+		return nil, err
+	}
+	out.Algorithm = used
+	s.observeLatency(o, msgSize, used, out)
+	return out, nil
 }
 
 // Allgather executes one encrypted all-gather with caller-supplied
 // contributions on the session's chan or tcp engine: data[r] is rank
 // r's block (all equal length).
-func (s *Session) Allgather(ctx context.Context, algorithm string, data [][]byte, opts ...Option) (*RunResult, error) {
+func (s *Session) Allgather(ctx context.Context, algorithm Alg, data [][]byte, opts ...Option) (*RunResult, error) {
 	o, err := opLevel(opts)
 	if err != nil {
 		return nil, err
@@ -489,7 +534,7 @@ func (s *Session) Allgather(ctx context.Context, algorithm string, data [][]byte
 		return nil, fmt.Errorf("encag: %d contributions for %d ranks", len(data), s.cs.P)
 	}
 	msgSize := int64(len(data[0]))
-	alg, err := lookup(algorithm)
+	alg, used, err := s.resolveAlg(algorithm, msgSize)
 	if err != nil {
 		return nil, err
 	}
@@ -505,15 +550,21 @@ func (s *Session) Allgather(ctx context.Context, algorithm string, data [][]byte
 	}
 	// User-supplied bytes: validate structure only, never pattern content.
 	if err := cluster.ValidateGather(s.cs, msgSize, res.Results, false); err != nil {
-		return nil, fmt.Errorf("encag: %s produced an invalid gather: %w", algorithm, err)
+		return nil, fmt.Errorf("encag: %s produced an invalid gather: %w", used, err)
 	}
-	return s.runResult(res, nil, msgSize)
+	out, err := s.runResult(res, nil, msgSize)
+	if err != nil {
+		return nil, err
+	}
+	out.Algorithm = used
+	s.observeLatency(o, msgSize, used, out)
+	return out, nil
 }
 
 // AllgatherV is the variable-block-size (all-gatherv) collective on the
 // session's chan or tcp engine: each rank's contribution may have a
 // different length, including zero.
-func (s *Session) AllgatherV(ctx context.Context, algorithm string, data [][]byte, opts ...Option) (*RunResult, error) {
+func (s *Session) AllgatherV(ctx context.Context, algorithm Alg, data [][]byte, opts ...Option) (*RunResult, error) {
 	o, err := opLevel(opts)
 	if err != nil {
 		return nil, err
@@ -521,7 +572,16 @@ func (s *Session) AllgatherV(ctx context.Context, algorithm string, data [][]byt
 	if len(data) != s.cs.P {
 		return nil, fmt.Errorf("encag: %d contributions for %d ranks", len(data), s.cs.P)
 	}
-	alg, err := lookup(algorithm)
+	// Auto dispatch keys on the maximum block size — the value every
+	// rank knows (Proc.MaxBlockSize) — so mixed contributions cannot
+	// make ranks disagree on the selected algorithm.
+	var maxSize int64
+	for _, d := range data {
+		if int64(len(d)) > maxSize {
+			maxSize = int64(len(d))
+		}
+	}
+	alg, used, err := s.resolveAlg(algorithm, maxSize)
 	if err != nil {
 		return nil, err
 	}
@@ -536,9 +596,15 @@ func (s *Session) AllgatherV(ctx context.Context, algorithm string, data [][]byt
 		sizes[r] = int64(len(data[r]))
 	}
 	if err := cluster.ValidateGatherV(s.cs, sizes, res.Results, false); err != nil {
-		return nil, fmt.Errorf("encag: %s produced an invalid gatherv: %w", algorithm, err)
+		return nil, fmt.Errorf("encag: %s produced an invalid gatherv: %w", used, err)
 	}
-	return s.runResult(res, sizes, 0)
+	out, err := s.runResult(res, sizes, 0)
+	if err != nil {
+		return nil, err
+	}
+	out.Algorithm = used
+	s.observeLatency(o, maxSize, used, out)
+	return out, nil
 }
 
 // Allreduce performs one encrypted all-reduce on the session's chan or
@@ -597,12 +663,12 @@ func (s *Session) Allreduce(ctx context.Context, data [][]byte, op CombineFunc, 
 // model and reports the projected latency and cost metrics. The context
 // is checked on entry only: sim runs execute in virtual time and are not
 // cancellable mid-flight.
-func (s *Session) Simulate(ctx context.Context, algorithm string, msgSize int64, opts ...Option) (SimResult, error) {
+func (s *Session) Simulate(ctx context.Context, algorithm Alg, msgSize int64, opts ...Option) (SimResult, error) {
 	o, err := opLevel(opts)
 	if err != nil {
 		return SimResult{}, err
 	}
-	alg, err := lookup(algorithm)
+	alg, used, err := s.resolveAlg(algorithm, msgSize)
 	if err != nil {
 		return SimResult{}, err
 	}
@@ -613,24 +679,31 @@ func (s *Session) Simulate(ctx context.Context, algorithm string, msgSize int64,
 		return SimResult{}, err
 	}
 	if err := cluster.ValidateGather(s.cs, msgSize, res.Results, false); err != nil {
-		return SimResult{}, fmt.Errorf("encag: %s produced an invalid gather: %w", algorithm, err)
+		return SimResult{}, fmt.Errorf("encag: %s produced an invalid gather: %w", used, err)
 	}
 	return SimResult{
 		Latency:    res.LatencyD,
 		Metrics:    res.Critical,
 		InterBytes: res.InterBytes,
 		IntraBytes: res.IntraBytes,
+		Algorithm:  used,
 	}, nil
 }
 
 // SimulateV is the all-gatherv variant of Simulate: sizes[r] is rank
 // r's contribution length in bytes.
-func (s *Session) SimulateV(ctx context.Context, algorithm string, sizes []int64, opts ...Option) (SimResult, error) {
+func (s *Session) SimulateV(ctx context.Context, algorithm Alg, sizes []int64, opts ...Option) (SimResult, error) {
 	o, err := opLevel(opts)
 	if err != nil {
 		return SimResult{}, err
 	}
-	alg, err := lookup(algorithm)
+	var maxSize int64
+	for _, sz := range sizes {
+		if sz > maxSize {
+			maxSize = sz
+		}
+	}
+	alg, used, err := s.resolveAlg(algorithm, maxSize)
 	if err != nil {
 		return SimResult{}, err
 	}
@@ -641,12 +714,13 @@ func (s *Session) SimulateV(ctx context.Context, algorithm string, sizes []int64
 		return SimResult{}, err
 	}
 	if err := cluster.ValidateGatherV(s.cs, sizes, res.Results, false); err != nil {
-		return SimResult{}, fmt.Errorf("encag: %s produced an invalid gatherv: %w", algorithm, err)
+		return SimResult{}, fmt.Errorf("encag: %s produced an invalid gatherv: %w", used, err)
 	}
 	return SimResult{
 		Latency:    res.LatencyD,
 		Metrics:    res.Critical,
 		InterBytes: res.InterBytes,
 		IntraBytes: res.IntraBytes,
+		Algorithm:  used,
 	}, nil
 }
