@@ -68,6 +68,13 @@ type SessionConfig struct {
 	// counters up into one exposition; for the callback-backed families
 	// (in-flight, queue depth, pool stats) the last-opened session wins.
 	Metrics *metrics.Registry
+	// CryptoPool, when non-nil, is the worker pool the session's sealer
+	// runs segmented crypto on — the multi-tenant wiring, where many
+	// sessions share one process-global crypto budget instead of each
+	// sizing its own. It overrides Spec.CryptoWorkers, survives Rekey
+	// (every replacement sealer is pointed at it), and is never closed
+	// by the session: its owner outlives every tenant.
+	CryptoPool *seal.Pool
 	// Pipeline configures intra-collective pipelining: streaming a
 	// chunk's sealed segments onto the wire as they seal and opening
 	// them as they land, overlapping crypto with transport inside one
@@ -184,7 +191,7 @@ func OpenSession(spec Spec, cfg SessionConfig) (*Session, error) {
 	if cfg.Engine == EngineSim {
 		return s, nil
 	}
-	slr, err := newSessionSealer(spec)
+	slr, err := newSessionSealer(spec, cfg.CryptoPool)
 	if err != nil {
 		return nil, err
 	}
@@ -211,13 +218,17 @@ func OpenSession(spec Spec, cfg SessionConfig) (*Session, error) {
 	return s, nil
 }
 
-func newSessionSealer(spec Spec) (*seal.Sealer, error) {
+func newSessionSealer(spec Spec, pool *seal.Pool) (*seal.Sealer, error) {
 	slr, err := seal.NewRandomSealer()
 	if err != nil {
 		return nil, err
 	}
 	slr.SetSegmentSize(int(spec.SegmentSize))
-	slr.SetWorkers(spec.CryptoWorkers)
+	if pool != nil {
+		slr.SetPool(pool)
+	} else {
+		slr.SetWorkers(spec.CryptoWorkers)
+	}
 	slr.EnableNonceAudit()
 	return slr, nil
 }
@@ -282,7 +293,7 @@ func (s *Session) Rekey() error {
 	case s.inflight > 0:
 		return fmt.Errorf("cluster: cannot rekey with %d collectives in flight", s.inflight)
 	}
-	slr, err := newSessionSealer(s.spec)
+	slr, err := newSessionSealer(s.spec, s.cfg.CryptoPool)
 	if err != nil {
 		return err
 	}

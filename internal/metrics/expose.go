@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -21,27 +22,100 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
 		for _, e := range f.entries {
-			if f.kind == KindHistogram {
-				writeSummary(&b, f.name, e)
-				continue
-			}
-			fmt.Fprintf(&b, "%s%s %d\n", f.name, e.labels, e.value())
+			writeEntry(&b, f.kind, f.name, e, "")
 		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
-func writeSummary(b *strings.Builder, name string, e *entry) {
+// writeEntry emits one entry's samples, with inner (a rendered
+// `k="v",...` run without braces) injected into its label set.
+func writeEntry(b *strings.Builder, kind Kind, name string, e *entry, inner string) {
+	labels := injectLabels(e.labels, inner)
+	if kind == KindHistogram {
+		writeSummary(b, name, labels, e)
+		return
+	}
+	fmt.Fprintf(b, "%s%s %d\n", name, labels, e.value())
+}
+
+func writeSummary(b *strings.Builder, name, labels string, e *entry) {
 	s := e.hist.Snapshot()
 	for _, qv := range []struct {
 		q string
 		v int64
 	}{{"0.5", s.P50}, {"0.95", s.P95}, {"0.99", s.P99}} {
-		fmt.Fprintf(b, "%s%s %d\n", name, mergeLabels(e.labels, `quantile="`+qv.q+`"`), qv.v)
+		fmt.Fprintf(b, "%s%s %d\n", name, mergeLabels(labels, `quantile="`+qv.q+`"`), qv.v)
 	}
-	fmt.Fprintf(b, "%s_sum%s %d\n", name, e.labels, s.Sum)
-	fmt.Fprintf(b, "%s_count%s %d\n", name, e.labels, s.Count)
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, labels, s.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, s.Count)
+}
+
+// Source pairs a registry with constant labels injected into every
+// sample it contributes to a merged exposition — e.g. tenant="t7" on a
+// per-tenant session registry inside a multi-tenant host's scrape.
+type Source struct {
+	Reg    *Registry
+	Labels []Label
+}
+
+// WriteMergedPrometheus writes the union of several registries as one
+// valid Prometheus exposition: families appearing in more than one
+// source are grouped under a single HELP/TYPE header (first source's
+// help wins), and each source's entries carry that source's constant
+// labels. A source whose family kind disagrees with the first
+// registration is skipped for that family — the exposition stays
+// well-formed rather than mixing types under one name.
+func WriteMergedPrometheus(w io.Writer, sources ...Source) error {
+	type part struct {
+		fam   famView
+		inner string
+	}
+	order := []string{}
+	merged := map[string][]part{}
+	for _, src := range sources {
+		if src.Reg == nil {
+			continue
+		}
+		inner := strings.TrimSuffix(strings.TrimPrefix(renderLabels(src.Labels), "{"), "}")
+		for _, f := range src.Reg.view() {
+			if _, seen := merged[f.name]; !seen {
+				order = append(order, f.name)
+			}
+			merged[f.name] = append(merged[f.name], part{fam: f, inner: inner})
+		}
+	}
+	sort.Strings(order)
+	var b strings.Builder
+	for _, name := range order {
+		parts := merged[name]
+		kind := parts[0].fam.kind
+		fmt.Fprintf(&b, "# HELP %s %s\n", name, parts[0].fam.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+		for _, p := range parts {
+			if p.fam.kind != kind {
+				continue
+			}
+			for _, e := range p.fam.entries {
+				writeEntry(&b, kind, name, e, p.inner)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// injectLabels splices a rendered inner label run into an already
+// rendered label string.
+func injectLabels(labels, inner string) string {
+	if inner == "" {
+		return labels
+	}
+	if labels == "" {
+		return "{" + inner + "}"
+	}
+	return labels[:len(labels)-1] + "," + inner + "}"
 }
 
 // mergeLabels appends one rendered pair to an already rendered label

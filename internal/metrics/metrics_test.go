@@ -224,3 +224,42 @@ func TestExpvarSnapshotJSON(t *testing.T) {
 		t.Fatalf("histogram snapshot = %v", decoded["j_lat_ns"])
 	}
 }
+
+// Merged exposition: families shared by several registries appear under
+// one HELP/TYPE header, each source's samples carrying its constant
+// labels — the shape a multi-tenant host scrapes.
+func TestWriteMergedPrometheus(t *testing.T) {
+	host := NewRegistry()
+	host.Counter("serve_reaps_total", "Tenant reaps.", L("reason", "idle")).Add(3)
+	t0 := NewRegistry()
+	t0.Counter("ops_total", "Ops.").Add(5)
+	t0.Histogram("lat_ns", "Latency.").Observe(70)
+	t1 := NewRegistry()
+	t1.Counter("ops_total", "Ops.", L("alg", "o-ring")).Add(9)
+
+	var sb strings.Builder
+	err := WriteMergedPrometheus(&sb,
+		Source{Reg: host},
+		Source{Reg: t0, Labels: []Label{L("tenant", "t0")}},
+		Source{Reg: t1, Labels: []Label{L("tenant", "t1")}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP ops_total Ops.\n",
+		`ops_total{tenant="t0"} 5`,
+		`ops_total{alg="o-ring",tenant="t1"} 9`,
+		`serve_reaps_total{reason="idle"} 3`,
+		`lat_ns{tenant="t0",quantile="0.5"}`,
+		`lat_ns_count{tenant="t0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("merged exposition missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE ops_total"); n != 1 {
+		t.Fatalf("ops_total TYPE header appears %d times, want 1:\n%s", n, out)
+	}
+}

@@ -16,16 +16,23 @@ import (
 //
 // The caller of Run always participates in the work itself: progress
 // never depends on a worker being free, so a saturated pool degrades to
-// serial execution instead of blocking.
+// serial execution instead of blocking. The same property makes Close
+// safe at any time: a closed pool refuses new offers, so in-flight Run
+// calls simply finish their remaining indices on the calling goroutine —
+// nothing blocks, nothing panics, and a Sealer torn down mid-operation
+// cannot strand tasks inside a pool shared with other Sealers.
 type Pool struct {
 	size  int
 	tasks chan func()
+	quit  chan struct{} // closed by Close; idle workers exit on it
 
 	busy       atomic.Int64 // workers currently executing a task
 	dispatched atomic.Int64 // tasks accepted by offer
 	saturated  atomic.Int64 // offers refused at the worker cap
+	closed     atomic.Bool
 
 	mu      sync.Mutex
+	idle    sync.Cond // signalled whenever workers drops; Close waits on it
 	workers int
 }
 
@@ -39,11 +46,42 @@ func NewPool(size int) *Pool {
 	if size <= 0 {
 		size = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{size: size, tasks: make(chan func())}
+	p := &Pool{size: size, tasks: make(chan func()), quit: make(chan struct{})}
+	p.idle.L = &p.mu
+	return p
 }
 
 // Size returns the worker cap.
 func (p *Pool) Size() int { return p.size }
+
+// Closed reports whether Close has been called.
+func (p *Pool) Closed() bool { return p.closed.Load() }
+
+// Close drains the pool: new offers are refused (callers degrade to
+// serial execution, exactly as on saturation), idle workers exit
+// immediately, busy workers exit after finishing their current task, and
+// Close returns once every worker goroutine has terminated. In-flight
+// Run calls complete normally — their remaining indices run on the
+// calling goroutine. Idempotent and safe to call concurrently with Run.
+// Closing the process-wide SharedPool is a programming error (it cannot
+// be re-opened); Close is meant for pools owned by a host that is
+// shutting down.
+func (p *Pool) Close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		p.mu.Lock()
+		for p.workers > 0 {
+			p.idle.Wait()
+		}
+		p.mu.Unlock()
+		return
+	}
+	close(p.quit)
+	p.mu.Lock()
+	for p.workers > 0 {
+		p.idle.Wait()
+	}
+	p.mu.Unlock()
+}
 
 // PoolStats is a Pool's instantaneous utilization view plus its
 // cumulative dispatch counters.
@@ -88,9 +126,12 @@ func SharedPool() *Pool {
 }
 
 // offer hands fn to an idle worker, starting one if the pool is under
-// its cap. It reports false when the pool is saturated; the caller then
-// absorbs the work through its own Run loop.
+// its cap. It reports false when the pool is saturated or closed; the
+// caller then absorbs the work through its own Run loop.
 func (p *Pool) offer(fn func()) bool {
+	if p.closed.Load() {
+		return false
+	}
 	select {
 	case p.tasks <- fn:
 		p.dispatched.Add(1)
@@ -98,7 +139,7 @@ func (p *Pool) offer(fn func()) bool {
 	default:
 	}
 	p.mu.Lock()
-	if p.workers >= p.size {
+	if p.workers >= p.size || p.closed.Load() {
 		p.mu.Unlock()
 		// One more non-blocking attempt in case a worker just freed up.
 		select {
@@ -120,20 +161,31 @@ func (p *Pool) offer(fn func()) bool {
 func (p *Pool) work(fn func()) {
 	timer := time.NewTimer(poolIdleTimeout)
 	defer timer.Stop()
+	exit := func() {
+		p.mu.Lock()
+		p.workers--
+		p.mu.Unlock()
+		p.idle.Broadcast()
+	}
 	for {
 		p.busy.Add(1)
 		fn()
 		p.busy.Add(-1)
+		if p.closed.Load() {
+			exit()
+			return
+		}
 		if !timer.Stop() {
 			<-timer.C
 		}
 		timer.Reset(poolIdleTimeout)
 		select {
 		case fn = <-p.tasks:
+		case <-p.quit:
+			exit()
+			return
 		case <-timer.C:
-			p.mu.Lock()
-			p.workers--
-			p.mu.Unlock()
+			exit()
 			return
 		}
 	}

@@ -86,6 +86,14 @@ func (s *Sealer) SetWorkers(n int) {
 	s.pool = NewPool(n)
 }
 
+// SetPool points this Sealer's segmented-crypto operations at an
+// externally owned worker pool — the multi-tenant wiring, where many
+// sessions' sealers share one process-global crypto budget instead of
+// each sizing its own. nil restores the process-wide shared pool.
+// Configure before concurrent use. The Sealer never closes an injected
+// pool; its owner does.
+func (s *Sealer) SetPool(p *Pool) { s.pool = p }
+
 // workerPool returns the pool segmented operations run on.
 func (s *Sealer) workerPool() *Pool {
 	if s.pool != nil {

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	// ErrRejected is the sentinel every *RejectionError matches via
+	// errors.Is: the host refused the step instead of queueing it
+	// unboundedly.
+	ErrRejected = errors.New("serve: admission rejected")
+	// ErrClosed is returned by operations on a closed Manager.
+	ErrClosed = errors.New("serve: manager closed")
+)
+
+// Rejection reasons, used as the reason label of
+// encag_serve_rejected_total and as Snapshot map keys.
+const (
+	RejectQueueFull    = "queue_full"    // MaxQueue callers already waiting
+	RejectQueueTimeout = "queue_timeout" // waited QueueTimeout without a slot
+	RejectCancelled    = "cancelled"     // caller's context ended while queued
+	RejectCapacity     = "capacity"      // every resident session busy at Capacity
+)
+
+var rejectReasons = []string{RejectQueueFull, RejectQueueTimeout, RejectCancelled, RejectCapacity}
+
+// RejectionError is the structured fail-fast answer to saturation: which
+// tenant was refused, why, and how loaded the host was at that instant.
+// It matches ErrRejected via errors.Is.
+type RejectionError struct {
+	Tenant string
+	Reason string // one of the Reject* constants
+	// InFlight is the load figure behind the decision: executing steps
+	// for queue-side rejections, resident sessions for "capacity".
+	InFlight int
+	// Queued is how many callers were waiting for a step slot.
+	Queued int
+}
+
+func (e *RejectionError) Error() string {
+	return fmt.Sprintf("serve: tenant %s rejected (%s; inflight=%d queued=%d)",
+		e.Tenant, e.Reason, e.InFlight, e.Queued)
+}
+
+func (e *RejectionError) Unwrap() error { return ErrRejected }
+
+// admission is the step gate: maxSteps execution slots fronted by a
+// bounded, deadline-capped FIFO of waiters. Acquire never blocks past
+// the queue bound or timeout — saturation produces a structured
+// rejection, not a hang.
+//
+// The accounting is deliberately mutex-based rather than a buffered
+// channel: release hands a freed slot directly to the first waiter
+// under the lock, so a granted caller counts as in-flight the instant
+// it is granted — not whenever its goroutine next gets scheduled. A
+// channel semaphore leaves woken-but-unscheduled waiters counted as
+// queued, which under CPU pressure inflates the queue depth and causes
+// spurious queue_full rejections.
+type admission struct {
+	maxSteps int
+	maxQueue int
+	timeout  time.Duration
+
+	mu       sync.Mutex
+	inflight int
+	waiters  []chan struct{} // FIFO; closed to grant a slot
+	admitted atomic.Int64
+}
+
+func newAdmission(maxSteps, maxQueue int, timeout time.Duration) *admission {
+	return &admission{maxSteps: maxSteps, maxQueue: maxQueue, timeout: timeout}
+}
+
+// acquire takes one execution slot, waiting in the bounded queue if
+// none is free. Nil means admitted (pair with release).
+func (a *admission) acquire(ctx context.Context, tenant string) *RejectionError {
+	a.mu.Lock()
+	if a.inflight < a.maxSteps {
+		a.inflight++
+		a.mu.Unlock()
+		a.admitted.Add(1)
+		return nil
+	}
+	if len(a.waiters) >= a.maxQueue {
+		rej := a.rejectLocked(tenant, RejectQueueFull)
+		a.mu.Unlock()
+		return rej
+	}
+	grant := make(chan struct{})
+	a.waiters = append(a.waiters, grant)
+	a.mu.Unlock()
+
+	t := time.NewTimer(a.timeout)
+	defer t.Stop()
+	select {
+	case <-grant:
+		a.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		return a.abandon(grant, tenant, RejectCancelled)
+	case <-t.C:
+		return a.abandon(grant, tenant, RejectQueueTimeout)
+	}
+}
+
+// abandon withdraws a waiter after its timer or context fired. If the
+// grant raced in first the caller is admitted after all (nil), since
+// the slot is already accounted to it.
+func (a *admission) abandon(grant chan struct{}, tenant, reason string) *RejectionError {
+	a.mu.Lock()
+	for i, w := range a.waiters {
+		if w == grant {
+			a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+			rej := a.rejectLocked(tenant, reason)
+			a.mu.Unlock()
+			return rej
+		}
+	}
+	a.mu.Unlock()
+	a.admitted.Add(1)
+	return nil
+}
+
+// release frees the caller's slot, handing it directly to the first
+// waiter if any.
+func (a *admission) release() {
+	a.mu.Lock()
+	if len(a.waiters) > 0 {
+		grant := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		a.mu.Unlock()
+		close(grant) // slot transfers; inflight unchanged
+		return
+	}
+	a.inflight--
+	a.mu.Unlock()
+}
+
+func (a *admission) rejectLocked(tenant, reason string) *RejectionError {
+	return &RejectionError{
+		Tenant:   tenant,
+		Reason:   reason,
+		InFlight: a.inflight,
+		Queued:   len(a.waiters),
+	}
+}
+
+func (a *admission) inFlight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+func (a *admission) queueDepth() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int64(len(a.waiters))
+}

@@ -1,0 +1,107 @@
+package encag_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"encag"
+)
+
+// Many sessions opening and closing concurrently — the multi-tenant
+// host's steady state — must not interfere: each open either yields a
+// working session or a clean error, never a shared-state corruption.
+// Run under -race.
+func TestConcurrentOpenCloseSessions(t *testing.T) {
+	spec := encag.Spec{Procs: 4, Nodes: 2}
+	pool := encag.NewCryptoPool(2)
+	defer pool.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				s, err := encag.OpenSession(context.Background(), spec, encag.WithCryptoPool(pool))
+				if err != nil {
+					t.Errorf("open: %v", err)
+					return
+				}
+				if _, err := s.Run(context.Background(), encag.AlgORing, 512); err != nil {
+					t.Errorf("run: %v", err)
+				}
+				if err := s.Close(); err != nil {
+					t.Errorf("close: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Close is idempotent under concurrency: any number of racing Close
+// calls all return cleanly, and operations afterwards fail with
+// ErrSessionClosed rather than hanging or panicking.
+func TestSessionDoubleCloseConcurrent(t *testing.T) {
+	s, err := encag.OpenSession(context.Background(), encag.Spec{Procs: 4, Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), encag.AlgORing, 256); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Close(); err != nil {
+				t.Errorf("concurrent close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatalf("re-close after quiesce: %v", err)
+	}
+	if _, err := s.Run(context.Background(), encag.AlgORing, 256); !errors.Is(err, encag.ErrSessionClosed) {
+		t.Fatalf("run after close: %v, want ErrSessionClosed", err)
+	}
+}
+
+// Close racing in-flight collectives: every Run either completes
+// normally or fails with a structured ErrSessionClosed — and Close
+// itself returns. This is the reap path of the multi-tenant host, where
+// a session is torn down while sibling steps of the same tenant are
+// mid-collective.
+func TestSessionCloseRacesInflightRuns(t *testing.T) {
+	for iter := 0; iter < 5; iter++ {
+		s, err := encag.OpenSession(context.Background(), encag.Spec{Procs: 4, Nodes: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < 6; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for j := 0; j < 10; j++ {
+					if _, err := s.Run(context.Background(), encag.AlgORing, 1024); err != nil {
+						if !errors.Is(err, encag.ErrSessionClosed) {
+							t.Errorf("run during close: %v", err)
+						}
+						return
+					}
+				}
+			}()
+		}
+		close(start)
+		if err := s.Close(); err != nil {
+			t.Fatalf("close with runs in flight: %v", err)
+		}
+		wg.Wait()
+	}
+}

@@ -89,6 +89,8 @@ type sessionOptions struct {
 	tuningSet   bool
 	refine      bool
 	refineSet   bool
+	pool        *CryptoPool
+	poolSet     bool
 }
 
 // Option configures OpenSession or an individual Session operation.
@@ -201,6 +203,9 @@ func opLevel(opts []Option) (*sessionOptions, error) {
 	if o.refineSet {
 		return nil, errors.New("encag: WithTuningRefinement is a session-level option; pass it to OpenSession")
 	}
+	if o.poolSet {
+		return nil, errors.New("encag: WithCryptoPool is a session-level option; pass it to OpenSession")
+	}
 	return o, nil
 }
 
@@ -269,7 +274,7 @@ func OpenSession(ctx context.Context, spec Spec, opts ...Option) (*Session, erro
 	if err != nil {
 		return nil, err
 	}
-	cfg := cluster.SessionConfig{Engine: kind, Plan: o.plan, Profile: o.profile}
+	cfg := cluster.SessionConfig{Engine: kind, Plan: o.plan, Profile: o.profile, CryptoPool: o.pool}
 	if o.pipeSet {
 		cfg.Pipeline = cluster.PipelineConfig{Enabled: o.pipelining, SegmentWindow: o.segWindow}
 	}
